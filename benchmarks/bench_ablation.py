@@ -1,0 +1,105 @@
+"""E13 (ablations) — the design choices DESIGN.md calls out.
+
+(a) **levels r**: the paper's size/stretch knob.  More levels → sparser
+    emulator but exponentially larger beta; r = log log n balances them.
+(b) **heavy/light threshold n^{2/3}**: the largest k for which Theorem
+    10's (k,d)-nearest stays cheap.  Smaller exponents misclassify more
+    vertices as heavy (information loss, more patching); larger exponents
+    blow up the k-term of the round cost.
+(c) **soft vs plain hitting sets** in the deterministic hierarchy: the
+    plain variant keeps the same stretch but inflates every level — the
+    log-factor the soft hitting set exists to remove.
+"""
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import format_table
+from repro.cliquesim import RoundLedger
+from repro.cliquesim.costs import kd_nearest_rounds
+from repro.derand import build_deterministic_hierarchy
+from repro.emulator import EmulatorParams, build_emulator, build_emulator_cc
+from repro.graph import generators as gen
+
+
+def ablation_r_rows(n=300, seed=37):
+    g = gen.make_family("er_sparse", n, seed=seed)
+    rows = []
+    for r in (1, 2, 3, 4):
+        res = build_emulator(g, eps=0.5, r=r, rng=np.random.default_rng(seed))
+        rows.append(
+            [
+                r,
+                res.num_edges,
+                round(res.params.beta, 1),
+                round(res.params.delta_r, 1),
+            ]
+        )
+    return rows
+
+
+def ablation_threshold_rows(seed=41):
+    g = gen.ring_of_cliques(6, 20)  # dense balls force heavy vertices
+    rows = []
+    for exponent in (0.5, 2.0 / 3.0, 0.8):
+        ledger = RoundLedger()
+        res = build_emulator_cc(
+            g, eps=0.5, r=2, rng=np.random.default_rng(seed),
+            ledger=ledger, k_exponent=exponent,
+        )
+        d = max(1, int(np.ceil(res.params.delta_r)))
+        rows.append(
+            [
+                round(exponent, 3),
+                res.stats["k"],
+                res.stats["heavy_count"],
+                res.stats["light_count"],
+                res.num_edges,
+                round(kd_nearest_rounds(g.n, res.stats["k"], d), 1),
+            ]
+        )
+    return rows
+
+
+def ablation_soft_rows(n=200, seed=43):
+    g = gen.make_family("er_sparse", n, seed=seed)
+    params = EmulatorParams.from_target_eps(0.5, 2)
+    rows = []
+    for label, use_soft in (("soft (Lemma 43)", True), ("plain (log-factor)", False)):
+        h = build_deterministic_hierarchy(g, params, use_soft=use_soft)
+        res = build_emulator_cc(g, eps=0.5, r=2, hierarchy=h, params=params)
+        rows.append([label, h.sizes()[1], h.sizes()[2], res.num_edges])
+    return rows
+
+
+def test_ablation_levels(benchmark):
+    rows = benchmark.pedantic(ablation_r_rows, rounds=1, iterations=1)
+    table = format_table(["r", "edges", "beta", "delta_r"], rows)
+    record_experiment("E13a", "ablation: number of levels r", table)
+    # More levels cannot increase beta < previous: beta grows with r.
+    betas = [row[2] for row in rows]
+    assert all(a <= b for a, b in zip(betas, betas[1:]))
+
+
+def test_ablation_heavy_light_threshold(benchmark):
+    rows = benchmark.pedantic(ablation_threshold_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["k exponent", "k", "heavy", "light", "edges", "(k,d)-nearest rounds"],
+        rows,
+    )
+    record_experiment("E13b", "ablation: heavy/light threshold", table)
+    # Larger k -> fewer heavy vertices but costlier (k,d)-nearest.
+    heavies = [row[2] for row in rows]
+    costs_col = [row[5] for row in rows]
+    assert heavies[0] >= heavies[-1]
+    assert costs_col[0] <= costs_col[-1]
+
+
+def test_ablation_soft_vs_plain(benchmark):
+    rows = benchmark.pedantic(ablation_soft_rows, rounds=1, iterations=1)
+    table = format_table(["hierarchy hitting", "|S_1|", "|S_2|", "edges"], rows)
+    record_experiment("E13c", "ablation: soft vs plain hitting sets", table)
+    soft_s1 = rows[0][1]
+    plain_s1 = rows[1][1]
+    # The plain hitting set inflates the level (log-factor effect).
+    assert plain_s1 >= soft_s1

@@ -1,0 +1,51 @@
+"""E6 — (2+eps)-APSP (Theorem 34) vs the (3+eps) warm-up and exact.
+
+Shape check: who wins — (2+eps) must dominate (3+eps) in mean stretch and
+both must respect their guarantees; exact is the reference."""
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import evaluate_stretch, format_table
+from repro.apsp import apsp_three_plus_eps, apsp_two_plus_eps
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances
+
+
+def apsp2_rows(n=120, eps=0.5, seed=11):
+    rows = []
+    for family in ("er_sparse", "grid", "ba", "ring_of_cliques"):
+        g = gen.make_family(family, n, seed=seed)
+        exact = all_pairs_distances(g)
+        two = apsp_two_plus_eps(g, eps=eps, r=2, rng=np.random.default_rng(seed))
+        three = apsp_three_plus_eps(g, eps=eps, r=2, rng=np.random.default_rng(seed))
+        rep2 = evaluate_stretch(two.estimates, exact)
+        rep3 = evaluate_stretch(three.estimates, exact)
+        rows.append(
+            [
+                family,
+                g.n,
+                rep2.sound,
+                round(rep2.max_ratio, 3),
+                round(rep2.mean_ratio, 3),
+                round(rep3.max_ratio, 3),
+                round(rep3.mean_ratio, 3),
+                round(two.rounds, 1),
+            ]
+        )
+    return rows
+
+
+def test_apsp_2eps_table(benchmark):
+    rows = benchmark.pedantic(apsp2_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["family", "n", "sound", "(2+e) max", "(2+e) mean", "(3+e) max",
+         "(3+e) mean", "rounds"],
+        rows,
+    )
+    record_experiment("E6", "(2+eps)-APSP vs (3+eps) (Thm 34)", table)
+    for row in rows:
+        assert row[2] is True
+        assert row[3] <= 2.5 + 1e-9
+        assert row[5] <= 3.5 + 1e-9
+        assert row[4] <= row[6] + 1e-9  # 2+eps dominates on average

@@ -1,0 +1,45 @@
+"""E4 — (1+eps, beta)-APSP (Theorem 32): guarantee verification plus round
+decomposition across graph families and emulator variants."""
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import evaluate_stretch, format_table
+from repro.apsp import apsp_near_additive
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances
+
+
+def near_additive_rows(n=120, seed=7):
+    rows = []
+    for family in ("er_sparse", "grid", "path", "ba"):
+        g = gen.make_family(family, n, seed=seed)
+        exact = all_pairs_distances(g)
+        for variant in ("cc", "deterministic"):
+            res = apsp_near_additive(
+                g, eps=0.5, r=2, rng=np.random.default_rng(seed), variant=variant
+            )
+            rep = evaluate_stretch(res.estimates, exact, additive=res.additive)
+            rows.append(
+                [
+                    family,
+                    variant,
+                    rep.sound and res.check_guarantee(exact),
+                    round(rep.max_ratio, 3),
+                    round(rep.mean_ratio, 3),
+                    round(res.additive, 1),
+                    round(res.rounds, 1),
+                ]
+            )
+    return rows
+
+
+def test_apsp_near_additive_table(benchmark):
+    rows = benchmark.pedantic(near_additive_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["family", "variant", "within guarantee", "max ratio", "mean ratio",
+         "beta bound", "rounds"],
+        rows,
+    )
+    record_experiment("E4", "(1+eps,beta)-APSP guarantee (Thm 32)", table)
+    assert all(row[2] for row in rows)

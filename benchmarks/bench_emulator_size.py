@@ -1,0 +1,47 @@
+"""E1 — emulator size: Theorem 29/31 claim O(r n^{1+1/2^r}) edges.
+
+Sweeps n for r in {2, 3} and reports edges, the theorem's bound (constant
+1), and edges per vertex — which must stay near-linear (the paper's
+headline O(n log log n) at r = log log n).
+"""
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import format_table
+from repro.emulator import build_emulator
+from repro.graph import generators as gen
+
+
+def emulator_size_rows(ns=(100, 200, 400, 800), rs=(2, 3), seed=1):
+    rows = []
+    for r in rs:
+        for n in ns:
+            g = gen.make_family("er_sparse", n, seed=seed)
+            res = build_emulator(
+                g, eps=0.5, r=r, rng=np.random.default_rng(seed)
+            )
+            bound = res.params.expected_edge_bound(g.n)
+            rows.append(
+                [
+                    "er_sparse",
+                    g.n,
+                    r,
+                    res.num_edges,
+                    round(bound, 1),
+                    round(res.num_edges / bound, 3),
+                    round(res.num_edges / g.n, 2),
+                ]
+            )
+    return rows
+
+
+def test_emulator_size_table(benchmark):
+    rows = benchmark.pedantic(emulator_size_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["family", "n", "r", "edges", "bound r*n^(1+1/2^r)", "edges/bound", "edges/n"],
+        rows,
+    )
+    record_experiment("E1", "emulator size vs O(r n^{1+1/2^r}) (Thm 29/31)", table)
+    for row in rows:
+        assert row[5] <= 4.0, "emulator exceeds 4x the theorem bound"

@@ -1,0 +1,59 @@
+"""E2 — emulator stretch: Lemma 23 / Theorem 24 claim
+d <= d_H <= (1 + eps) d + beta with beta = O(r/eps)^{r-1}.
+
+Per family: the guaranteed (multiplicative, additive) pair vs the measured
+max multiplicative ratio and max additive excess.  The measured values must
+sit below the guarantee, typically far below (the analysis constants are
+loose — the point of the benchmark)."""
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import evaluate_stretch, format_table
+from repro.emulator import build_emulator
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+def stretch_rows(n=150, seed=3):
+    rows = []
+    for family in ("er_sparse", "grid", "path", "tree", "ring_of_cliques"):
+        g = gen.make_family(family, n, seed=seed)
+        exact = all_pairs_distances(g)
+        res = build_emulator(g, eps=0.5, r=2, rng=np.random.default_rng(seed))
+        emu = weighted_all_pairs(res.emulator)
+        rep = evaluate_stretch(emu, exact, additive=res.params.beta)
+        rows.append(
+            [
+                family,
+                g.n,
+                round(res.params.multiplicative, 3),
+                round(res.params.beta, 1),
+                rep.sound,
+                round(rep.max_ratio, 3),
+                round(rep.max_additive_over_exact, 1),
+                round(rep.max_residual_ratio, 3),
+            ]
+        )
+    return rows
+
+
+def test_emulator_stretch_table(benchmark):
+    rows = benchmark.pedantic(stretch_rows, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "family",
+            "n",
+            "guar mult",
+            "guar beta",
+            "sound",
+            "max ratio",
+            "max add",
+            "resid ratio",
+        ],
+        rows,
+    )
+    record_experiment("E2", "emulator stretch vs (1+eps, beta) (Lemma 23)", table)
+    for row in rows:
+        assert row[4] is True  # sound
+        assert row[7] <= row[2] + 1e-9 or row[6] <= row[3]  # within guarantee

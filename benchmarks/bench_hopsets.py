@@ -1,0 +1,60 @@
+"""E7 — bounded hopsets (Theorem 12): size O(n^{3/2} log n) and the
+(beta, eps, t) property: beta = O(log t / eps) hops suffice for a
+(1+eps)-approximation of every distance <= t."""
+
+import math
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import format_table
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, hop_limited_bellman_ford
+from repro.toolkit import build_bounded_hopset
+
+
+def hopset_rows(seed=13):
+    rows = []
+    configs = [
+        ("path", 200, 64),
+        ("grid", 150, 16),
+        ("er_sparse", 150, 8),
+        ("tree", 150, 16),
+    ]
+    for family, n, t in configs:
+        g = gen.make_family(family, n, seed=seed)
+        eps = 0.5
+        hs = build_bounded_hopset(g, eps=eps, t=t, rng=np.random.default_rng(seed))
+        union = hs.union_with(g)
+        sources = list(range(0, g.n, max(1, g.n // 25)))
+        exact = all_pairs_distances(g)[sources]
+        approx = hop_limited_bellman_ford(union, sources, max_hops=hs.beta)
+        mask = np.isfinite(exact) & (exact <= t) & (exact > 0)
+        max_ratio = float((approx[mask] / exact[mask]).max()) if mask.any() else 1.0
+        size_bound = g.n ** 1.5 * math.log2(g.n)
+        rows.append(
+            [
+                family,
+                g.n,
+                t,
+                hs.beta,
+                hs.num_edges,
+                round(size_bound, 0),
+                round(max_ratio, 4),
+                round(1 + eps, 2),
+            ]
+        )
+    return rows
+
+
+def test_hopset_table(benchmark):
+    rows = benchmark.pedantic(hopset_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["family", "n", "t", "beta", "edges", "bound n^1.5 log n",
+         "max beta-hop ratio", "guarantee"],
+        rows,
+    )
+    record_experiment("E7", "bounded (beta,eps,t)-hopsets (Thm 12)", table)
+    for row in rows:
+        assert row[4] <= 4 * row[5]
+        assert row[6] <= row[7] + 1e-9

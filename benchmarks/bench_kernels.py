@@ -1,0 +1,89 @@
+"""Wall-clock micro-benchmarks of the computational kernels.
+
+Unlike the experiment benches (which produce claim tables), these time
+the hot kernels with proper repetition — regressions here slow every
+pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.emulator import build_emulator
+from repro.graph import generators as gen
+from repro.graph.distances import (
+    all_pairs_distances,
+    bfs_distances,
+    hop_limited_bellman_ford,
+)
+from repro.matmul import filter_rows, minplus_product, row_sparse_minplus
+from repro.toolkit import build_bounded_hopset, kd_nearest_bfs
+
+
+@pytest.fixture(scope="module")
+def er300():
+    return gen.make_family("er_sparse", 300, seed=61)
+
+
+def test_kernel_bfs(benchmark, er300):
+    result = benchmark(lambda: bfs_distances(er300, 0))
+    assert np.isfinite(result).all()
+
+
+def test_kernel_all_pairs(benchmark, er300):
+    result = benchmark(lambda: all_pairs_distances(er300))
+    assert result.shape == (300, 300)
+
+
+def test_kernel_minplus_dense(benchmark):
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 50, (200, 200)).astype(float)
+    a[rng.random((200, 200)) < 0.6] = np.inf
+    result = benchmark(lambda: minplus_product(a, a))
+    assert result.shape == (200, 200)
+
+
+def test_kernel_minplus_sparse(benchmark):
+    rng = np.random.default_rng(4)
+    a = rng.integers(0, 50, (300, 300)).astype(float)
+    a[rng.random((300, 300)) < 0.95] = np.inf
+    result = benchmark(lambda: row_sparse_minplus(a, a))
+    assert result.shape == (300, 300)
+
+
+def test_kernel_filter_rows(benchmark):
+    rng = np.random.default_rng(5)
+    a = rng.random((400, 400))
+    result = benchmark(lambda: filter_rows(a, 20))
+    assert (np.isfinite(result).sum(axis=1) == 20).all()
+
+
+def test_kernel_hop_limited_bf(benchmark, er300):
+    wg = er300.to_weighted()
+    sources = list(range(0, 300, 20))
+    result = benchmark(lambda: hop_limited_bellman_ford(wg, sources, 10))
+    assert result.shape == (len(sources), 300)
+
+
+def test_kernel_kd_nearest(benchmark, er300):
+    result = benchmark(lambda: kd_nearest_bfs(er300, 45, 8)[0])
+    assert result.shape == (300, 300)
+
+
+def test_kernel_hopset_build(benchmark, er300):
+    result = benchmark.pedantic(
+        lambda: build_bounded_hopset(
+            er300, eps=0.5, t=8, rng=np.random.default_rng(7)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_edges > 0
+
+
+def test_kernel_emulator_build(benchmark, er300):
+    result = benchmark.pedantic(
+        lambda: build_emulator(er300, eps=0.5, r=2, rng=np.random.default_rng(8)),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_edges > 0

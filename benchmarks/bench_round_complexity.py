@@ -1,0 +1,46 @@
+"""E3 — round complexity of the emulator build: Theorem 29 claims
+O(log^2(beta)/eps) rounds, i.e. *independent of n* for fixed eps and r,
+versus the poly(log n) of the prior art.
+
+Sweeps n and reports the measured ledger total of the clique build next to
+the CHKL (log^2 n / eps) baseline model; the former must stay flat while
+the latter grows."""
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import format_table
+from repro.apsp import chkl_round_model
+from repro.cliquesim import RoundLedger
+from repro.emulator import build_emulator_cc
+from repro.graph import generators as gen
+
+
+def round_rows(ns=(60, 120, 240, 480), seed=5):
+    rows = []
+    for n in ns:
+        g = gen.make_family("er_sparse", n, seed=seed)
+        ledger = RoundLedger()
+        build_emulator_cc(
+            g, eps=0.5, r=2, rng=np.random.default_rng(seed), ledger=ledger
+        )
+        rows.append(
+            [
+                g.n,
+                round(ledger.total, 1),
+                round(chkl_round_model(g.n, 0.5), 1),
+            ]
+        )
+    return rows
+
+
+def test_round_complexity_table(benchmark):
+    rows = benchmark.pedantic(round_rows, rounds=1, iterations=1)
+    table = format_table(["n", "ours (ledger)", "CHKL19 model log^2(n)/eps"], rows)
+    record_experiment(
+        "E3", "emulator rounds vs n — flat vs poly(log n) (Thm 29)", table
+    )
+    ours_growth = rows[-1][1] / rows[0][1]
+    baseline_growth = rows[-1][2] / rows[0][2]
+    assert ours_growth < baseline_growth, "ours must grow slower than baseline"
+    assert ours_growth < 1.5, "ours should be nearly flat in n"

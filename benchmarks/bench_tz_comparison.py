@@ -1,0 +1,61 @@
+"""E14 — Appendix A: the Section 3 emulator as a *localized* Thorup–Zwick.
+
+Claims reproduced:
+* every edge of our emulator (any eps) is a TZ edge under the same
+  hierarchy (containment);
+* TZ is universal but bigger; our emulator trades universality for the
+  locality that enables the poly(log log n) implementation.
+"""
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import evaluate_stretch, format_table
+from repro.emulator import build_emulator, build_tz_emulator, sample_hierarchy
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+def tz_rows(n=120, seed=47):
+    rows = []
+    for family in ("er_sparse", "grid", "tree"):
+        g = gen.make_family(family, n, seed=seed)
+        h = sample_hierarchy(g.n, 2, np.random.default_rng(seed))
+        exact = all_pairs_distances(g)
+        tz = build_tz_emulator(g, r=2, hierarchy=h)
+        tz_edges = {(u, v) for u, v, _ in tz.emulator.edges()}
+        tz_stretch = evaluate_stretch(weighted_all_pairs(tz.emulator), exact)
+        for eps in (0.2, 0.5):
+            ours = build_emulator(g, eps=eps, r=2, hierarchy=h, rescale=False)
+            our_edges = {(u, v) for u, v, _ in ours.emulator.edges()}
+            contained = our_edges <= tz_edges
+            our_stretch = evaluate_stretch(
+                weighted_all_pairs(ours.emulator), exact
+            )
+            rows.append(
+                [
+                    family,
+                    eps,
+                    len(our_edges),
+                    len(tz_edges),
+                    contained,
+                    round(our_stretch.max_ratio, 2),
+                    round(tz_stretch.max_ratio, 2),
+                ]
+            )
+    return rows
+
+
+def test_tz_comparison_table(benchmark):
+    rows = benchmark.pedantic(tz_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["family", "eps", "our edges", "TZ edges", "ours ⊆ TZ",
+         "our max stretch", "TZ max stretch"],
+        rows,
+    )
+    record_experiment(
+        "E14", "localized vs global TZ emulator (Appendix A)", table
+    )
+    for row in rows:
+        assert row[4] is True  # containment for every eps
+        assert row[2] <= row[3]

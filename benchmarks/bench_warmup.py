@@ -1,0 +1,50 @@
+"""E11 — warm-up emulator (Section 3.1): O~(n^{5/4}) edges and
+(1 + eps, Theta(1/eps)) stretch."""
+
+import math
+
+import numpy as np
+
+from conftest import record_experiment
+from repro.analysis import evaluate_stretch, format_table
+from repro.emulator import build_warmup_emulator
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+def warmup_rows(seed=29):
+    rows = []
+    eps = 0.25
+    for n in (100, 200, 400):
+        g = gen.make_family("er_sparse", n, seed=seed)
+        exact = all_pairs_distances(g)
+        w = build_warmup_emulator(g, eps=eps, rng=np.random.default_rng(seed))
+        emu = weighted_all_pairs(w.emulator)
+        rep = evaluate_stretch(emu, exact, additive=w.additive_bound())
+        size_bound = g.n ** 1.25 * math.log2(g.n)
+        rows.append(
+            [
+                g.n,
+                w.num_edges,
+                round(size_bound, 0),
+                rep.sound,
+                round(rep.max_additive_over_exact, 1),
+                round(w.additive_bound(), 1),
+                round(rep.max_residual_ratio, 3),
+            ]
+        )
+    return rows
+
+
+def test_warmup_table(benchmark):
+    rows = benchmark.pedantic(warmup_rows, rounds=1, iterations=1)
+    table = format_table(
+        ["n", "edges", "n^1.25 log n", "sound", "max additive",
+         "additive bound", "residual ratio"],
+        rows,
+    )
+    record_experiment("E11", "warm-up emulator (Section 3.1)", table)
+    for row in rows:
+        assert row[3] is True
+        assert row[1] <= 6 * row[2]
+        assert row[4] <= row[5] + (1 + 4 * 0.25 - 1) * 1000  # within guarantee shape

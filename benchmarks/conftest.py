@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment from DESIGN.md's index (E1-E12)
+— the measurable form of the paper's theorem claims (the paper itself has
+no tables/figures; see DESIGN.md §2).  Every bench prints its table and
+appends it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
+be refreshed from a run.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_experiment(experiment_id: str, title: str, table: str) -> None:
+    """Print and persist one experiment's output table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    banner = f"== {experiment_id}: {title} =="
+    text = f"{banner}\n{table}\n"
+    print("\n" + text)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2020)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Scenario: the Congested Clique model itself, message by message.
+
+The library's distance pipelines charge rounds analytically; this demo
+shows the *other* half of the substrate — the message-level simulator
+that enforces the model (one O(log n)-bit message per ordered pair per
+round) — by running real distributed algorithms through it:
+
+1. distributed BFS (frontier announcements, eccentricity-many rounds);
+2. the collect-everything APSP (max-degree-many rounds);
+3. Lenzen routing of an all-to-all instance in O(1) rounds;
+4. what happens when an algorithm tries to cheat bandwidth.
+
+Run:  python examples/clique_model_demo.py
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cliquesim import BandwidthError, CongestedClique, route
+from repro.cliquesim.algorithms import distributed_apsp, distributed_bfs
+from repro.graph import generators
+from repro.graph.distances import all_pairs_distances, eccentricity
+
+
+def main() -> None:
+    g = generators.make_family("er_sparse", 30, seed=5)
+    print(f"graph: n={g.n}, m={g.m}")
+
+    # 1. distributed BFS.
+    clique = CongestedClique(g.n)
+    dist, rounds = distributed_bfs(clique, g, root=0)
+    exact = all_pairs_distances(g)
+    ok = np.array_equal(
+        np.nan_to_num(dist, posinf=-1), np.nan_to_num(exact[0], posinf=-1)
+    )
+    print(
+        f"\n1. distributed BFS from 0: correct={ok}, rounds={rounds} "
+        f"(eccentricity={eccentricity(g, 0):.0f}), "
+        f"messages={clique.messages_sent}"
+    )
+
+    # 2. collect-everything APSP.
+    clique2 = CongestedClique(g.n)
+    apsp, rounds2 = distributed_apsp(clique2, g)
+    ok2 = np.array_equal(
+        np.nan_to_num(apsp, posinf=-1), np.nan_to_num(exact, posinf=-1)
+    )
+    print(
+        f"2. collect-everything APSP: correct={ok2}, rounds={rounds2} "
+        f"(max degree={int(g.degrees().max())})"
+    )
+
+    # 3. Lenzen routing: an all-to-all instance, n messages in and out per
+    # vertex, delivered in O(1) simulated rounds.
+    clique3 = CongestedClique(g.n)
+    messages = [
+        (src, dst, (src, dst)) for src in range(g.n) for dst in range(g.n)
+    ]
+    delivered = route(clique3, messages)
+    print(
+        f"3. Lenzen routing of {len(messages)} messages "
+        f"(n in/out per vertex): {clique3.rounds_executed} simulated rounds, "
+        f"all delivered={all(len(d) == g.n for d in delivered)}"
+    )
+
+    # 4. bandwidth enforcement.
+    clique4 = CongestedClique(g.n)
+    try:
+        clique4.exchange(
+            [{1: tuple(range(10))}] + [{} for _ in range(g.n - 1)]
+        )
+    except BandwidthError as exc:
+        print(f"4. cheating rejected: {exc}")
+
+    print(
+        "\nTakeaway: the simulator really is the model — the large-scale "
+        "pipelines charge\nrounds through the theorems' formulas, and this "
+        "layer certifies those message\npatterns are legal."
+    )
+
+
+if __name__ == "__main__":
+    main()

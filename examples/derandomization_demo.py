@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scenario: deterministic distance pipelines via soft hitting sets.
+
+Some deployments (reproducible CI, consensus-critical systems) cannot
+tolerate randomized outputs.  Section 5 of the paper derandomizes the
+whole pipeline; the key new tool is the *soft hitting set* (Definition
+42), which avoids the log-factor blow-up of classical derandomized
+hitting sets.
+
+This demo (1) contrasts plain vs soft hitting sets on the same instance,
+(2) builds the fully deterministic emulator twice and shows bit-identical
+outputs, and (3) runs deterministic (1+eps, beta)-APSP.
+
+Run:  python examples/derandomization_demo.py
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import apsp_near_additive, build_emulator_deterministic
+from repro.analysis import format_table
+from repro.derand import (
+    SoftHittingInstance,
+    deterministic_soft_hitting_set,
+    total_miss_mass,
+)
+from repro.graph import generators
+from repro.graph.distances import all_pairs_distances
+from repro.toolkit import deterministic_hitting_set
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+
+    # --- 1. soft vs plain hitting sets ---------------------------------
+    n, delta, num_sets = 400, 20, 150
+    universe = np.arange(n)
+    sets = [
+        rng.choice(n, size=delta + int(rng.integers(0, 20)), replace=False)
+        for _ in range(num_sets)
+    ]
+    inst = SoftHittingInstance(universe=universe, sets=sets, delta=delta)
+    soft = deterministic_soft_hitting_set(inst)
+    plain = deterministic_hitting_set(sets, n)
+    print(format_table(
+        ["construction", "size", "size target", "missed mass", "miss bound"],
+        [
+            ["soft hitting set (Lemma 43)", len(soft), f"N/Delta = {n//delta}",
+             total_miss_mass(inst, soft), f"O(Delta|L|) = {delta * num_sets}"],
+            ["plain hitting set (greedy)", len(plain), "N log N / Delta",
+             0, "must hit everything"],
+        ],
+    ))
+    print(
+        "\nThe soft set is smaller (no log factor) because it may *miss* "
+        "sets as long\nas the total missed mass stays bounded — exactly "
+        "what the emulator's size\nanalysis needs.\n"
+    )
+
+    # --- 2. deterministic emulator reproducibility ---------------------
+    g = generators.make_family("er_sparse", 120, seed=9)
+    a = build_emulator_deterministic(g, eps=0.5, r=2)
+    b = build_emulator_deterministic(g, eps=0.5, r=2)
+    identical = sorted(a.emulator.edges()) == sorted(b.emulator.edges())
+    print(
+        f"deterministic emulator: {a.num_edges} edges, two runs identical: "
+        f"{identical}"
+    )
+
+    # --- 3. deterministic APSP ------------------------------------------
+    exact = all_pairs_distances(g)
+    res = apsp_near_additive(g, eps=0.5, r=2, variant="deterministic")
+    ok = res.check_sound(exact) and res.check_guarantee(exact)
+    print(
+        f"deterministic (1+eps,beta)-APSP: within guarantee: {ok}, "
+        f"rounds = {res.rounds:.0f}"
+    )
+    print(
+        "\nTakeaway: determinism costs only poly(log log n) extra rounds "
+        "(Theorem 50)\nand zero approximation quality."
+    )
+
+
+if __name__ == "__main__":
+    main()

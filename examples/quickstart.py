@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: build a near-additive emulator and approximate APSP.
+
+This walks through the paper's headline pipeline on a small graph:
+
+1. generate a workload graph;
+2. build the (1 + eps, beta)-emulator of Section 3 (the clique algorithm,
+   with its round ledger);
+3. run the three applications of Section 4 and compare their estimates to
+   the exact distances.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import (
+    apsp_near_additive,
+    apsp_two_plus_eps,
+    build_emulator_cc,
+    mssp,
+)
+from repro.analysis import evaluate_stretch, format_table
+from repro.graph import generators
+from repro.graph.distances import all_pairs_distances
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n = 150
+    g = generators.connected_erdos_renyi(n, avg_degree=3.0, rng=rng)
+    print(f"workload: connected G(n, p) with n={g.n}, m={g.m}")
+
+    # --- the emulator itself -------------------------------------------
+    emu = build_emulator_cc(g, eps=0.5, r=2, rng=rng)
+    print(
+        f"\nemulator: {emu.num_edges} edges "
+        f"(bound {emu.params.expected_edge_bound(g.n):.0f}), "
+        f"beta = {emu.params.beta:.0f}, "
+        f"hierarchy sizes = {emu.stats['set_sizes']}"
+    )
+    print(f"round ledger:\n{emu.ledger.summary()}")
+
+    # --- applications ---------------------------------------------------
+    exact = all_pairs_distances(g)
+    rows = []
+
+    near = apsp_near_additive(g, eps=0.5, r=2, rng=rng)
+    rep = evaluate_stretch(near.estimates, exact, additive=near.additive)
+    rows.append([near.name, f"(1+0.5)d+{near.additive:.0f}",
+                 round(rep.max_ratio, 3), round(rep.mean_ratio, 3),
+                 round(near.rounds, 0)])
+
+    two = apsp_two_plus_eps(g, eps=0.5, r=2, rng=rng)
+    rep = evaluate_stretch(two.estimates, exact)
+    rows.append([two.name, "2.5 d", round(rep.max_ratio, 3),
+                 round(rep.mean_ratio, 3), round(two.rounds, 0)])
+
+    sources = list(range(0, n, 12))
+    ms = mssp(g, sources, eps=0.5, r=2, rng=rng)
+    rep = evaluate_stretch(ms.estimates, exact[sources])
+    rows.append([ms.name, "1.5 d", round(rep.max_ratio, 3),
+                 round(rep.mean_ratio, 3), round(ms.rounds, 0)])
+
+    print("\n" + format_table(
+        ["algorithm", "guarantee", "max stretch", "mean stretch", "rounds"],
+        rows,
+    ))
+    print("\nAll estimates are sound (never below the true distance) and "
+          "within their guarantees;\nmeasured stretch is far below the "
+          "worst case, as expected from the loose analysis constants.")
+
+
+if __name__ == "__main__":
+    main()

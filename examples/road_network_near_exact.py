@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Scenario: near-exact long-haul distances on a road-like network.
+
+Grid/torus graphs stand in for road networks: large diameter, small
+degree.  Here the near-additive guarantee shines — for any pair farther
+than ~beta/eps the (1+eps, beta)-approximation is effectively a (1+eps)
+one, so long-haul queries are near-exact while the whole table is produced
+in poly(log log n) rounds.
+
+The script builds the emulator-based APSP, then splits pairs into
+short/medium/long bands and shows the measured stretch per band.
+
+Run:  python examples/road_network_near_exact.py
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import apsp_near_additive
+from repro.analysis import format_table
+from repro.graph import generators
+from repro.graph.distances import all_pairs_distances
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    side = 18
+    g = generators.grid_graph(side, side)
+    print(f"road-like grid: {side}x{side}, n={g.n}, diameter {2 * side - 2}")
+
+    exact = all_pairs_distances(g)
+    res = apsp_near_additive(g, eps=0.5, r=2, rng=rng, variant="ideal")
+    print(
+        f"\n(1+eps, beta)-APSP: beta bound = {res.additive:.0f}, "
+        f"rounds = {res.rounds:.0f}, emulator edges = "
+        f"{res.stats['emulator_edges']}"
+    )
+
+    diam = int(np.nanmax(np.where(np.isfinite(exact), exact, np.nan)))
+    bands = [
+        ("short  (d <= 4)", 1, 4),
+        (f"medium (5..{diam // 2})", 5, diam // 2),
+        (f"long   (>{diam // 2})", diam // 2 + 1, diam),
+    ]
+    rows = []
+    for label, lo, hi in bands:
+        mask = (exact >= lo) & (exact <= hi)
+        if not mask.any():
+            continue
+        ratio = res.estimates[mask] / exact[mask]
+        additive = res.estimates[mask] - exact[mask]
+        rows.append(
+            [
+                label,
+                int(mask.sum()),
+                round(float(ratio.max()), 3),
+                round(float(ratio.mean()), 3),
+                round(float(additive.max()), 1),
+            ]
+        )
+    print("\n" + format_table(
+        ["distance band", "pairs", "max ratio", "mean ratio", "max additive"],
+        rows,
+    ))
+    print(
+        "\nTakeaway: the additive term is only visible on short pairs; "
+        "long-haul\ndistances are near-exact — exactly the (1+eps) regime "
+        "the paper promises\nfor d = Omega(beta/eps)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario: landmark distances on a skewed social graph.
+
+A recommendation service needs approximate distances from ~sqrt(n)
+"landmark" users (celebrities, hubs) to everyone else — the classic
+multi-source shortest paths workload that motivates Theorem 33.  Social
+graphs have heavy-tailed degrees, which also exercises the high-degree
+machinery of the (2+eps)-APSP pipeline.
+
+The script compares three options a practitioner would weigh:
+
+* exact BFS from every landmark (the costly reference);
+* the paper's (1+eps)-MSSP — near-exact answers in poly(log log n) rounds;
+* the log-stretch spanner shortcut — cheap but with visible error.
+
+Run:  python examples/social_network_distances.py
+"""
+
+import math
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import mssp, spanner_apsp
+from repro.analysis import evaluate_stretch, format_table
+from repro.graph import generators
+from repro.graph.distances import all_pairs_distances
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 300
+    g = generators.barabasi_albert(n, k=3, rng=rng)
+    degrees = g.degrees()
+    print(
+        f"social graph: n={g.n}, m={g.m}, max degree {degrees.max()} "
+        f"(median {int(np.median(degrees))}) — heavy-tailed"
+    )
+
+    # Landmarks: the sqrt(n) highest-degree users.
+    num_landmarks = int(math.sqrt(n))
+    landmarks = np.argsort(-degrees)[:num_landmarks].tolist()
+    print(f"landmarks: {num_landmarks} highest-degree vertices")
+
+    exact = all_pairs_distances(g)[landmarks]
+
+    res = mssp(g, landmarks, eps=0.25, r=2, rng=rng)
+    rep = evaluate_stretch(res.estimates, exact)
+
+    spanner = spanner_apsp(g, rng=rng)
+    rep_spanner = evaluate_stretch(spanner.estimates[landmarks], exact)
+
+    print("\n" + format_table(
+        ["method", "guarantee", "max stretch", "mean stretch",
+         "p99 stretch", "rounds"],
+        [
+            ["exact n x BFS", "1.0", 1.0, 1.0, 1.0, "n^0.158 (algebraic)"],
+            [res.name, "1.25", round(rep.max_ratio, 3),
+             round(rep.mean_ratio, 3), round(rep.p99_ratio, 3),
+             round(res.rounds, 0)],
+            [spanner.name, f"{spanner.multiplicative:.0f}",
+             round(rep_spanner.max_ratio, 3),
+             round(rep_spanner.mean_ratio, 3),
+             round(rep_spanner.p99_ratio, 3), round(spanner.rounds, 0)],
+        ],
+    ))
+
+    worst = np.unravel_index(
+        np.argmax(np.where(exact > 0, res.estimates / np.maximum(exact, 1), 0)),
+        exact.shape,
+    )
+    print(
+        f"\nworst MSSP pair: landmark #{worst[0]} -> vertex {worst[1]}: "
+        f"exact {exact[worst]:.0f}, estimate {res.estimates[worst]:.0f}"
+    )
+    print(
+        "\nTakeaway: (1+eps)-MSSP delivers near-exact landmark distances; "
+        "the spanner\nbaseline is cheaper per round but its stretch is "
+        "visible in the tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

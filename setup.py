@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools but no `wheel` package, so PEP 660
+editable installs fail; `pip install -e . --no-build-isolation --no-use-pep517`
+(or `python setup.py develop`) uses this shim instead.  Configuration lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""repro — reproduction of Dory & Parter, *Exponentially Faster Shortest
+Paths in the Congested Clique* (PODC 2020, arXiv:2003.03058).
+
+The public API re-exports the main entry points:
+
+* graphs and workloads: :class:`Graph`, :mod:`repro.graph.generators`;
+* emulators (Section 3): :func:`build_emulator`, :func:`build_emulator_cc`,
+  :func:`build_emulator_whp`, :func:`build_warmup_emulator`,
+  :func:`build_emulator_deterministic`;
+* applications (Section 4): :func:`apsp_near_additive`, :func:`mssp`,
+  :func:`apsp_two_plus_eps`, :func:`apsp_three_plus_eps`;
+* toolkit (Appendix B): :func:`kd_nearest`, :func:`source_detection`,
+  :func:`build_bounded_hopset`, :func:`distance_through_sets`;
+* derandomization (Section 5): :func:`deterministic_soft_hitting_set`;
+* baselines: :func:`exact_apsp`, :func:`apsp_squaring`, :func:`spanner_apsp`.
+"""
+
+from .graph import Graph, WeightedGraph, generators
+from .cliquesim import CongestedClique, RoundLedger, costs
+from .emulator import (
+    EmulatorParams,
+    Hierarchy,
+    build_emulator,
+    build_emulator_cc,
+    build_emulator_whp,
+    build_warmup_emulator,
+    sample_hierarchy,
+)
+from .toolkit import (
+    build_bounded_hopset,
+    distance_through_sets,
+    kd_nearest,
+    source_detection,
+)
+from .derand import (
+    SoftHittingInstance,
+    build_emulator_deterministic,
+    deterministic_soft_hitting_set,
+)
+from .apsp import (
+    DistanceResult,
+    EmulatorPathOracle,
+    apsp_near_additive,
+    apsp_squaring,
+    apsp_three_plus_eps,
+    apsp_two_plus_eps,
+    apsp_weighted,
+    exact_apsp,
+    mssp,
+    mssp_weighted,
+    spanner_apsp,
+    sssp,
+)
+from .emulator import build_tz_emulator, emulator_to_spanner
+from .analysis import StretchReport, evaluate_stretch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "WeightedGraph",
+    "generators",
+    "CongestedClique",
+    "RoundLedger",
+    "costs",
+    "EmulatorParams",
+    "Hierarchy",
+    "build_emulator",
+    "build_emulator_cc",
+    "build_emulator_whp",
+    "build_warmup_emulator",
+    "sample_hierarchy",
+    "build_bounded_hopset",
+    "distance_through_sets",
+    "kd_nearest",
+    "source_detection",
+    "SoftHittingInstance",
+    "build_emulator_deterministic",
+    "deterministic_soft_hitting_set",
+    "DistanceResult",
+    "apsp_near_additive",
+    "apsp_squaring",
+    "apsp_three_plus_eps",
+    "apsp_two_plus_eps",
+    "exact_apsp",
+    "mssp",
+    "mssp_weighted",
+    "apsp_weighted",
+    "spanner_apsp",
+    "sssp",
+    "EmulatorPathOracle",
+    "build_tz_emulator",
+    "emulator_to_spanner",
+    "StretchReport",
+    "evaluate_stretch",
+]

@@ -1,0 +1,16 @@
+"""Measurement and reporting helpers for the benchmark harness."""
+
+from .stretch import StretchReport, evaluate_stretch
+from .reporting import format_row, format_table
+from .verify import Violation, verify_emulator, verify_estimates, verify_hopset
+
+__all__ = [
+    "StretchReport",
+    "evaluate_stretch",
+    "format_row",
+    "format_table",
+    "Violation",
+    "verify_emulator",
+    "verify_estimates",
+    "verify_hopset",
+]

@@ -1,0 +1,42 @@
+"""Plain-text table formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_row"]
+
+
+def format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    """One row, left-aligned strings / right-aligned numbers."""
+    cells = []
+    for value, width in zip(values, widths):
+        if isinstance(value, float):
+            text = f"{value:.3f}"
+        else:
+            text = str(value)
+        if isinstance(value, (int, float)):
+            cells.append(text.rjust(width))
+        else:
+            cells.append(text.ljust(width))
+    return "  ".join(cells)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A fixed-width table with a header rule, ready for stdout or
+    EXPERIMENTS.md code blocks."""
+    rows = [list(r) for r in rows]
+    widths: List[int] = []
+    for col, header in enumerate(headers):
+        w = len(str(header))
+        for row in rows:
+            value = row[col]
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            w = max(w, len(text))
+        widths.append(w)
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(format_row(row, widths) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Stretch evaluation of distance estimates against exact distances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+__all__ = ["StretchReport", "evaluate_stretch"]
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Measured quality of a distance-estimate matrix.
+
+    All statistics are over pairs with finite positive exact distance
+    (distinct, connected pairs); ``sound`` additionally checks the zero
+    diagonal/identical pairs.
+    """
+
+    num_pairs: int
+    sound: bool
+    max_ratio: float
+    mean_ratio: float
+    p99_ratio: float
+    max_additive_over_exact: float
+    max_residual_ratio: float  # max (est - additive) / d given an additive slack
+
+    def __str__(self) -> str:
+        return (
+            f"pairs={self.num_pairs} sound={self.sound} "
+            f"max={self.max_ratio:.4f} mean={self.mean_ratio:.4f} "
+            f"p99={self.p99_ratio:.4f}"
+        )
+
+
+def evaluate_stretch(
+    estimates: np.ndarray,
+    exact: np.ndarray,
+    additive: float = 0.0,
+    atol: float = 1e-9,
+) -> StretchReport:
+    """Compare estimates to exact distances.
+
+    ``max_residual_ratio`` is ``max (est - additive) / d`` — the
+    multiplicative stretch after granting the algorithm its additive slack,
+    i.e. the quantity bounded by ``1 + eps`` for ``(1+eps, beta)``
+    algorithms.
+    """
+    estimates = np.asarray(estimates, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimates.shape != exact.shape:
+        raise ValueError(f"shape mismatch {estimates.shape} vs {exact.shape}")
+    finite = np.isfinite(exact)
+    positive = finite & (exact > 0)
+    sound = bool((estimates[finite] >= exact[finite] - atol).all())
+    if not positive.any():
+        return StretchReport(
+            num_pairs=0,
+            sound=sound,
+            max_ratio=1.0,
+            mean_ratio=1.0,
+            p99_ratio=1.0,
+            max_additive_over_exact=0.0,
+            max_residual_ratio=1.0,
+        )
+    est = estimates[positive]
+    d = exact[positive]
+    ratio = est / d
+    residual = np.maximum(est - additive, d) / d
+    return StretchReport(
+        num_pairs=int(positive.sum()),
+        sound=sound,
+        max_ratio=float(ratio.max()),
+        mean_ratio=float(ratio.mean()),
+        p99_ratio=float(np.percentile(ratio, 99)),
+        max_additive_over_exact=float((est - d).max()),
+        max_residual_ratio=float(residual.max()),
+    )

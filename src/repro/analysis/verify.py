@@ -1,0 +1,129 @@
+"""Verifiers for the paper's structural guarantees.
+
+These check, on an actual instance, the defining property of each object
+the library builds — used by the test-suite's failure-injection tests and
+available to users who want runtime certification of outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.distances import (
+    all_pairs_distances,
+    hop_limited_bellman_ford,
+    weighted_all_pairs,
+)
+from ..graph.graph import Graph, WeightedGraph
+
+__all__ = ["Violation", "verify_emulator", "verify_hopset", "verify_estimates"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken pair found by a verifier."""
+
+    u: int
+    v: int
+    exact: float
+    observed: float
+    bound: float
+
+    def __str__(self) -> str:
+        return (
+            f"pair ({self.u}, {self.v}): exact={self.exact}, "
+            f"observed={self.observed}, bound={self.bound}"
+        )
+
+
+def verify_emulator(
+    g: Graph,
+    emulator: WeightedGraph,
+    multiplicative: float,
+    additive: float,
+    atol: float = 1e-9,
+    max_violations: int = 10,
+) -> List[Violation]:
+    """Check ``d <= d_H <= mult·d + additive`` on every connected pair.
+
+    Returns up to ``max_violations`` violations (empty list = verified).
+    """
+    exact = all_pairs_distances(g)
+    emu = weighted_all_pairs(emulator)
+    return _collect(exact, emu, multiplicative, additive, atol, max_violations)
+
+
+def verify_hopset(
+    g: Graph,
+    hopset: WeightedGraph,
+    beta: int,
+    eps: float,
+    t: float,
+    sources: Optional[Sequence[int]] = None,
+    atol: float = 1e-9,
+    max_violations: int = 10,
+) -> List[Violation]:
+    """Check the ``(beta, eps, t)``-hopset property:
+    ``d <= d^beta_{G∪H} <= (1+eps)·d`` for pairs within ``t``."""
+    if sources is None:
+        sources = list(range(g.n))
+    union = g.to_weighted()
+    union.union_update(hopset)
+    exact = all_pairs_distances(g)[list(sources)]
+    approx = hop_limited_bellman_ford(union, list(sources), max_hops=beta)
+    out: List[Violation] = []
+    for i, s in enumerate(sources):
+        for v in range(g.n):
+            d = exact[i, v]
+            if not np.isfinite(d) or d <= 0 or d > t:
+                continue
+            a = approx[i, v]
+            bound = (1.0 + eps) * d
+            if a < d - atol or a > bound + atol:
+                out.append(Violation(int(s), v, float(d), float(a), float(bound)))
+                if len(out) >= max_violations:
+                    return out
+    return out
+
+
+def verify_estimates(
+    exact: np.ndarray,
+    estimates: np.ndarray,
+    multiplicative: float,
+    additive: float = 0.0,
+    atol: float = 1e-9,
+    max_violations: int = 10,
+) -> List[Violation]:
+    """Check a distance-estimate matrix against its advertised stretch."""
+    return _collect(exact, estimates, multiplicative, additive, atol, max_violations)
+
+
+def _collect(
+    exact: np.ndarray,
+    observed: np.ndarray,
+    multiplicative: float,
+    additive: float,
+    atol: float,
+    max_violations: int,
+) -> List[Violation]:
+    if exact.shape != observed.shape:
+        raise ValueError(f"shape mismatch {exact.shape} vs {observed.shape}")
+    finite = np.isfinite(exact)
+    bound = multiplicative * exact + additive
+    low = observed < exact - atol
+    high = observed > bound + atol
+    bad = finite & (low | high)
+    out: List[Violation] = []
+    for u, v in zip(*np.nonzero(bad)):
+        out.append(
+            Violation(
+                int(u), int(v), float(exact[u, v]), float(observed[u, v]),
+                float(bound[u, v]),
+            )
+        )
+        if len(out) >= max_violations:
+            break
+    return out

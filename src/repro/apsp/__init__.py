@@ -1,0 +1,37 @@
+"""Applications (Section 4): APSP and MSSP approximations plus baselines."""
+
+from .result import DistanceResult
+from .near_additive import apsp_near_additive, build_emulator_variant, emulator_guarantee
+from .mssp import mssp, sssp
+from .three_plus_eps import apsp_three_plus_eps
+from .two_plus_eps import apsp_two_plus_eps
+from .baselines import (
+    apsp_squaring,
+    baswana_sen_spanner,
+    chkl_round_model,
+    exact_apsp,
+    spanner_apsp,
+)
+from .paths import EmulatorPathOracle
+from .weighted import SubdividedGraph, apsp_weighted, mssp_weighted, subdivide
+
+__all__ = [
+    "EmulatorPathOracle",
+    "SubdividedGraph",
+    "apsp_weighted",
+    "mssp_weighted",
+    "subdivide",
+    "DistanceResult",
+    "apsp_near_additive",
+    "build_emulator_variant",
+    "emulator_guarantee",
+    "mssp",
+    "sssp",
+    "apsp_three_plus_eps",
+    "apsp_two_plus_eps",
+    "apsp_squaring",
+    "baswana_sen_spanner",
+    "chkl_round_model",
+    "exact_apsp",
+    "spanner_apsp",
+]

@@ -1,0 +1,113 @@
+"""``(1 + eps, beta)``-approximate APSP (Theorem 32).
+
+Build the sparse emulator, let every vertex learn all of it (the emulator
+has ``O(n log log n)`` edges, so Lenzen-routing it to one vertex, splitting
+into ``n`` chunks and rebroadcasting costs ``O(log log n)`` rounds), then
+each vertex locally computes shortest paths in the emulator — free in the
+Congested Clique's unbounded-local-computation convention.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..cliquesim.costs import learn_subgraph_rounds
+from ..cliquesim.ledger import RoundLedger
+from ..derand import build_emulator_deterministic
+from ..emulator.builder import build_emulator
+from ..emulator.clique import build_emulator_cc
+from ..emulator.params import EmulatorParams
+from ..emulator.whp import build_emulator_whp
+from ..graph.distances import weighted_all_pairs
+from ..graph.graph import Graph
+from .result import DistanceResult
+
+__all__ = ["apsp_near_additive", "build_emulator_variant", "emulator_guarantee"]
+
+_VARIANTS = ("ideal", "cc", "whp", "deterministic")
+
+
+def emulator_guarantee(result, variant: str) -> tuple[float, float]:
+    """The proven ``(multiplicative, additive)`` stretch of an emulator
+    result.  The ideal build satisfies Lemma 23's ``(1 + 20 eps r, beta)``
+    — with target-rescaling that is ``(1 + eps_target, beta)``.  The clique
+    builds pay Appendix C.3's factor: ``(1 + 80 eps r, 2 beta)``, i.e.
+    ``(1 + 4 eps_target, 2 beta)``."""
+    params = result.params
+    if variant == "ideal":
+        return params.multiplicative, params.beta
+    return 1.0 + 80.0 * params.eps * params.r, 2.0 * params.beta
+
+
+def build_emulator_variant(
+    g: Graph,
+    eps: float,
+    r: int,
+    variant: str,
+    rng: Optional[np.random.Generator],
+    ledger: RoundLedger,
+):
+    """Dispatch to one of the four emulator constructions."""
+    if variant == "ideal":
+        return build_emulator(g, eps=eps, r=r, rng=rng)
+    if variant == "cc":
+        return build_emulator_cc(g, eps=eps, r=r, rng=rng, ledger=ledger)
+    if variant == "whp":
+        return build_emulator_whp(g, eps=eps, r=r, rng=rng, ledger=ledger)
+    if variant == "deterministic":
+        return build_emulator_deterministic(g, eps=eps, r=r, ledger=ledger)
+    raise ValueError(f"unknown variant {variant!r}; known: {_VARIANTS}")
+
+
+def apsp_near_additive(
+    g: Graph,
+    eps: float,
+    r: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    variant: str = "cc",
+    ledger: Optional[RoundLedger] = None,
+) -> DistanceResult:
+    """Theorem 32 / 51: ``(1 + eps, beta)``-APSP in ``O(log^2(beta)/eps)``
+    rounds, ``beta = O(log log n / eps)^{log log n}``.
+
+    ``variant`` selects the emulator construction: ``"cc"`` (Section 3.5,
+    default), ``"ideal"`` (Section 3.2 exact balls), ``"whp"``
+    (Theorem 31) or ``"deterministic"`` (Theorem 50).
+    """
+    if ledger is None:
+        ledger = RoundLedger()
+    if r is None:
+        r = EmulatorParams.default_r(g.n)
+    result = build_emulator_variant(g, eps, r, variant, rng, ledger)
+
+    # Everybody learns the emulator (Theorem 32's collective).
+    ledger.charge(
+        learn_subgraph_rounds(result.emulator.m, g.n), "apsp:learn-emulator"
+    )
+
+    estimates = weighted_all_pairs(result.emulator)
+    # Each vertex knows its own incident edges; fold them in (weight 1).
+    e = g.edges()
+    if len(e):
+        ones = np.ones(len(e))
+        np.minimum.at(estimates, (e[:, 0], e[:, 1]), ones)
+        np.minimum.at(estimates, (e[:, 1], e[:, 0]), ones)
+    np.fill_diagonal(estimates, 0.0)
+
+    mult, add = emulator_guarantee(result, variant)
+    return DistanceResult(
+        name=f"(1+eps,beta)-APSP[{variant}]",
+        estimates=estimates,
+        multiplicative=mult,
+        additive=add,
+        ledger=ledger,
+        stats={
+            "emulator_edges": result.emulator.m,
+            "beta": result.params.beta,
+            "eps": eps,
+            "r": r,
+            "variant": variant,
+        },
+    )

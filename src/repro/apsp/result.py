@@ -1,0 +1,51 @@
+"""Common result type for the distance-approximation applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cliquesim.ledger import RoundLedger
+
+__all__ = ["DistanceResult"]
+
+
+@dataclass
+class DistanceResult:
+    """Distance estimates plus guarantee metadata and round accounting.
+
+    ``estimates[i, v]`` approximates ``d_G(sources[i], v)`` (for APSP the
+    sources are all of ``V`` and the matrix is ``n x n``).  The guarantee
+    is ``d <= estimate <= multiplicative * d + additive`` for every pair
+    the algorithm covers.
+    """
+
+    name: str
+    estimates: np.ndarray
+    multiplicative: float
+    additive: float
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+    sources: Optional[np.ndarray] = None
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> float:
+        """Total rounds charged."""
+        return self.ledger.total
+
+    def guarantee_bound(self, exact: np.ndarray) -> np.ndarray:
+        """Elementwise proven upper bound given the exact distances."""
+        return self.multiplicative * exact + self.additive
+
+    def check_sound(self, exact: np.ndarray, atol: float = 1e-9) -> bool:
+        """Estimates never undershoot the true distances."""
+        finite = np.isfinite(exact)
+        return bool((self.estimates[finite] >= exact[finite] - atol).all())
+
+    def check_guarantee(self, exact: np.ndarray, atol: float = 1e-9) -> bool:
+        """Estimates satisfy the advertised stretch on finite pairs."""
+        finite = np.isfinite(exact)
+        bound = self.guarantee_bound(exact)
+        return bool((self.estimates[finite] <= bound[finite] + atol).all())

@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro emulator --family er_sparse --n 150 --eps 0.5 --r 2
+    python -m repro apsp --algo 2eps --family grid --n 120
+    python -m repro mssp --family path --n 200 --num-sources 14
+    python -m repro families
+
+Each command prints the measured quality against the exact distances and
+the round-ledger summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import evaluate_stretch, format_table
+from .apsp import (
+    apsp_near_additive,
+    apsp_squaring,
+    apsp_three_plus_eps,
+    apsp_two_plus_eps,
+    apsp_weighted,
+    exact_apsp,
+    mssp,
+    mssp_weighted,
+    spanner_apsp,
+)
+from .emulator import build_emulator_cc
+from .derand import build_emulator_deterministic
+from .graph import WeightedGraph, generators
+from .graph.distances import all_pairs_distances, weighted_all_pairs
+
+__all__ = ["main", "build_parser"]
+
+_APSP_ALGOS = {
+    "near-additive": lambda g, eps, r, rng: apsp_near_additive(g, eps=eps, r=r, rng=rng),
+    "2eps": lambda g, eps, r, rng: apsp_two_plus_eps(g, eps=eps, r=r, rng=rng),
+    "3eps": lambda g, eps, r, rng: apsp_three_plus_eps(g, eps=eps, r=r, rng=rng),
+    "exact": lambda g, eps, r, rng: exact_apsp(g),
+    "squaring": lambda g, eps, r, rng: apsp_squaring(g),
+    "spanner": lambda g, eps, r, rng: spanner_apsp(g, rng=rng),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dory-Parter PODC 2020 shortest-paths reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--family", default="er_sparse", choices=generators.FAMILIES)
+        p.add_argument("--n", type=int, default=120)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--eps", type=float, default=0.5)
+        p.add_argument("--r", type=int, default=2)
+        p.add_argument(
+            "--max-weight", type=int, default=1,
+            help="random integer edge weights in [1, W] via subdivision "
+                 "(1 = unweighted; apsp/mssp only)",
+        )
+
+    p_emu = sub.add_parser("emulator", help="build an emulator, report size/stretch")
+    common(p_emu)
+    p_emu.add_argument(
+        "--deterministic", action="store_true", help="Section 5.1 construction"
+    )
+
+    p_apsp = sub.add_parser("apsp", help="run an APSP algorithm")
+    common(p_apsp)
+    p_apsp.add_argument("--algo", default="2eps", choices=sorted(_APSP_ALGOS))
+
+    p_mssp = sub.add_parser("mssp", help="run (1+eps)-MSSP")
+    common(p_mssp)
+    p_mssp.add_argument(
+        "--num-sources", type=int, default=0,
+        help="number of sources (default: sqrt(n))",
+    )
+
+    sub.add_parser("families", help="list workload families")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "families":
+        print("\n".join(generators.FAMILIES))
+        return 0
+
+    g = generators.make_family(args.family, args.n, seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    print(f"graph: {args.family}, n={g.n}, m={g.m}")
+
+    if args.command == "emulator":
+        if args.deterministic:
+            res = build_emulator_deterministic(g, eps=args.eps, r=args.r)
+        else:
+            res = build_emulator_cc(g, eps=args.eps, r=args.r, rng=rng)
+        print(
+            f"emulator: {res.num_edges} edges, beta={res.params.beta:.0f}, "
+            f"set sizes {res.stats['set_sizes']}"
+        )
+        print(res.ledger.summary())
+        return 0
+
+    weighted = getattr(args, "max_weight", 1) > 1
+    if weighted:
+        wg = _random_weights(g, args.max_weight, rng)
+        exact = weighted_all_pairs(wg)
+        print(f"weights: random integers in [1, {args.max_weight}]")
+    else:
+        exact = all_pairs_distances(g)
+
+    if args.command == "apsp":
+        if weighted:
+            res = apsp_weighted(wg, eps=args.eps, r=args.r, rng=rng)
+        else:
+            res = _APSP_ALGOS[args.algo](g, args.eps, args.r, rng)
+        rep = evaluate_stretch(res.estimates, exact, additive=res.additive)
+    else:  # mssp
+        num_sources = args.num_sources or max(1, int(math.sqrt(g.n)))
+        sources = list(range(0, g.n, max(1, g.n // num_sources)))[:num_sources]
+        if weighted:
+            res = mssp_weighted(wg, sources, eps=args.eps, r=args.r, rng=rng)
+        else:
+            res = mssp(g, sources, eps=args.eps, r=args.r, rng=rng)
+        rep = evaluate_stretch(res.estimates, exact[sources])
+
+    print(format_table(
+        ["algorithm", "sound", "max stretch", "mean stretch", "p99", "rounds"],
+        [[res.name, rep.sound, round(rep.max_ratio, 3),
+          round(rep.mean_ratio, 3), round(rep.p99_ratio, 3),
+          round(res.rounds, 1)]],
+    ))
+    print(res.ledger.summary())
+    return 0 if rep.sound else 1
+
+
+def _random_weights(g, max_weight: int, rng: np.random.Generator) -> WeightedGraph:
+    """Assign random integer weights in [1, max_weight] to g's edges."""
+    wg = WeightedGraph(g.n)
+    for u, v in g.edges():
+        wg.add_edge(int(u), int(v), float(rng.integers(1, max_weight + 1)))
+    return wg
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Congested Clique substrate: simulator, routing, and round accounting."""
+
+from .ledger import PhaseRecord, RoundLedger
+from .network import BandwidthError, CliqueNode, CongestedClique
+from .routing import RoutingError, gather_subgraph, route
+from . import costs
+
+__all__ = [
+    "PhaseRecord",
+    "RoundLedger",
+    "BandwidthError",
+    "CliqueNode",
+    "CongestedClique",
+    "RoutingError",
+    "gather_subgraph",
+    "route",
+    "costs",
+]

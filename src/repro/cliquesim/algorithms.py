@@ -1,0 +1,154 @@
+"""Reference distributed algorithms on the message-level simulator.
+
+These run *through* :class:`~repro.cliquesim.network.CongestedClique`,
+message by message, under the model's bandwidth constraints.  They serve
+two purposes: they validate that the substrate really is the Congested
+Clique model (the round counts below are *measured*, not charged), and
+they are the small-scale counterparts of the primitives the large-scale
+pipelines account for analytically.
+
+* :class:`BfsNode` — distributed BFS from a root: in round ``i`` the
+  depth-``i`` frontier announces itself; every vertex learns its distance
+  from the root in ``eccentricity(root)`` rounds.
+* :class:`ApspNode` — each vertex broadcasts its incident edges (one
+  neighbour id per round); after ``max_degree`` rounds everyone knows the
+  whole graph and computes APSP locally.  This is the trivial
+  ``O(max-degree)`` collection algorithm the paper's collectives improve
+  on.
+* :func:`distributed_bfs`, :func:`distributed_apsp` — drivers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .network import CliqueNode, CongestedClique
+
+__all__ = ["BfsNode", "ApspNode", "distributed_bfs", "distributed_apsp"]
+
+
+class BfsNode(CliqueNode):
+    """Distributed BFS: frontier vertices broadcast their discovery."""
+
+    def __init__(self, node_id: int, n: int, neighbors: List[int], root: int):
+        super().__init__(node_id, n)
+        self.neighbors = set(neighbors)
+        self.distance: Optional[int] = 0 if node_id == root else None
+        self._announce_round: Optional[int] = 0 if node_id == root else None
+        self._saw_announcement = node_id == root
+
+    def generate(self, round_no: int) -> Mapping[int, Tuple[int, ...]]:
+        if self._announce_round == round_no:
+            return {dest: (self.distance,) for dest in range(self.n)}
+        return {}
+
+    def receive(self, round_no: int, messages: Mapping[int, Tuple[int, ...]]) -> None:
+        if self.distance is not None and self._announce_round is not None:
+            if round_no >= self._announce_round:
+                self._saw_announcement = True
+        for src, payload in messages.items():
+            if src in self.neighbors and self.distance is None:
+                self.distance = payload[0] + 1
+                self._announce_round = round_no + 1
+        # Track global quiescence: a node is done when it has either been
+        # discovered and already announced, or the frontier has passed it
+        # (no announcements can reach it any more — detected by the driver
+        # via max_rounds = n).
+
+    def done(self) -> bool:
+        if self.distance is None:
+            return False
+        return self._announce_round is None or self._saw_announcement
+
+
+class ApspNode(CliqueNode):
+    """Collect-everything APSP: one incident edge broadcast per round."""
+
+    def __init__(self, node_id: int, n: int, neighbors: List[int]):
+        super().__init__(node_id, n)
+        self._my_neighbors = sorted(neighbors)
+        self._cursor = 0
+        self._known_edges: set = {
+            (min(node_id, v), max(node_id, v)) for v in neighbors
+        }
+        self._quiet_for = 0
+        self.distances: Optional[np.ndarray] = None
+
+    def generate(self, round_no: int) -> Mapping[int, Tuple[int, ...]]:
+        if self._cursor >= len(self._my_neighbors):
+            return {}
+        v = self._my_neighbors[self._cursor]
+        self._cursor += 1
+        return {dest: (v,) for dest in range(self.n)}
+
+    def receive(self, round_no: int, messages: Mapping[int, Tuple[int, ...]]) -> None:
+        got_new = False
+        for src, payload in messages.items():
+            edge = (min(src, payload[0]), max(src, payload[0]))
+            if edge not in self._known_edges:
+                self._known_edges.add(edge)
+                got_new = True
+        self._quiet_for = 0 if (got_new or messages) else self._quiet_for + 1
+        if self._cursor >= len(self._my_neighbors) and self._quiet_for >= 1:
+            self._finish()
+
+    def _finish(self) -> None:
+        from ..graph.distances import all_pairs_distances
+
+        g = Graph(self.n, list(self._known_edges))
+        self.distances = all_pairs_distances(g)
+
+    def done(self) -> bool:
+        return self.distances is not None
+
+
+def distributed_bfs(
+    clique: CongestedClique, g: Graph, root: int
+) -> Tuple[np.ndarray, int]:
+    """Run message-level BFS; returns ``(distances, rounds_used)``.
+
+    Unreached vertices report ``inf``.  The driver caps at ``n + 2``
+    rounds (a BFS frontier advances one hop per round).
+    """
+    nodes = [
+        BfsNode(v, g.n, [int(u) for u in g.neighbors(v)], root)
+        for v in range(g.n)
+    ]
+    start = clique.rounds_executed
+    for round_no in range(g.n + 2):
+        outboxes = [node.generate(round_no) for node in nodes]
+        if not any(outboxes):
+            break
+        inboxes = clique.exchange(outboxes, phase="distributed-bfs")
+        for node, inbox in zip(nodes, inboxes):
+            node.receive(round_no, inbox)
+    dist = np.array(
+        [np.inf if node.distance is None else float(node.distance) for node in nodes]
+    )
+    return dist, clique.rounds_executed - start
+
+
+def distributed_apsp(clique: CongestedClique, g: Graph) -> Tuple[np.ndarray, int]:
+    """Run the collect-everything APSP; returns ``(distances, rounds)``.
+
+    Rounds used = max degree + O(1) — each vertex broadcasts one incident
+    edge per round (a legal 1-per-pair pattern)."""
+    nodes = [
+        ApspNode(v, g.n, [int(u) for u in g.neighbors(v)]) for v in range(g.n)
+    ]
+    start = clique.rounds_executed
+    max_rounds = int(g.degrees().max() if g.n else 0) + 3
+    for round_no in range(max_rounds):
+        outboxes = [node.generate(round_no) for node in nodes]
+        inboxes = clique.exchange(outboxes, phase="distributed-apsp")
+        for node, inbox in zip(nodes, inboxes):
+            node.receive(round_no, inbox)
+        if all(node.done() for node in nodes):
+            break
+    for node in nodes:
+        if not node.done():
+            node._finish()
+    return nodes[0].distances, clique.rounds_executed - start

@@ -1,0 +1,143 @@
+"""Closed-form round costs of the paper's primitives.
+
+Each function evaluates the round complexity stated by a theorem of the
+paper with all hidden constants set to 1 and logarithms in base 2, clamped
+below at 1 round.  Benchmarks compare *scaling shapes* (who grows like
+``poly(log log n)`` vs ``poly(log n)``), which unit constants preserve.
+
+References (theorem numbers follow the arXiv version):
+
+* Lenzen's routing [27]: ``O(1)`` rounds — we charge 2.
+* Theorem 10: ``(k, d)``-nearest in ``O((k/n^{2/3} + log d) · log d)``.
+* Theorem 11: ``(S, d)``-source detection in ``O((m^{1/3}|S|^{2/3}/n + 1) d)``.
+* Theorem 12: bounded hopset in ``O(log^2 t / eps)``.
+* Theorem 35: distance-through-sets in ``O(rho^{2/3}/n^{1/3} + 1)``.
+* Theorem 36: sparse min-plus product in ``O((rho_S rho_T)^{1/3}/n^{1/3} + 1)``.
+* Theorem 58: filtered product in ``O((rho_S rho_T rho)^{1/3}/n^{2/3} + log W)``.
+* Lemma 9 / 43: deterministic (soft) hitting sets in ``O((log log n)^3)``.
+* Theorem 32 proof: all-learn of an ``E``-edge subgraph in ``O(E/n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log2",
+    "loglog",
+    "lenzen_route_rounds",
+    "broadcast_words_rounds",
+    "learn_subgraph_rounds",
+    "kd_nearest_rounds",
+    "source_detection_rounds",
+    "bounded_hopset_rounds",
+    "distance_through_sets_rounds",
+    "sparse_matmul_rounds",
+    "filtered_matmul_rounds",
+    "det_hitting_set_rounds",
+    "soft_hitting_set_rounds",
+    "matrix_squaring_apsp_rounds",
+    "chkl_apsp_2eps_rounds",
+]
+
+
+def log2(x: float) -> float:
+    """``log2`` clamped below at 1 (a quantity of at least one bit/step)."""
+    return max(1.0, math.log2(max(x, 2.0)))
+
+
+def loglog(n: int) -> float:
+    """``log2 log2 n`` clamped below at 1."""
+    return max(1.0, math.log2(max(math.log2(max(n, 4)), 2.0)))
+
+
+def lenzen_route_rounds() -> float:
+    """Lenzen routing: any instance where every vertex sends and receives at
+    most ``n`` messages completes in ``O(1)`` rounds; we charge 2."""
+    return 2.0
+
+
+def broadcast_words_rounds(words_per_vertex: float) -> float:
+    """Every vertex broadcasts ``words_per_vertex`` machine words to everyone:
+    1 round per word."""
+    return max(1.0, math.ceil(words_per_vertex))
+
+
+def learn_subgraph_rounds(num_edges: int, n: int) -> float:
+    """All vertices learn a subgraph with ``num_edges`` edges (Theorem 32
+    proof): Lenzen-route it to one vertex, redistribute, rebroadcast —
+    ``O(num_edges / n)`` rounds."""
+    if n <= 0:
+        return 1.0
+    return max(1.0, 2.0 * num_edges / n)
+
+
+def kd_nearest_rounds(n: int, k: int, d: float) -> float:
+    """Theorem 10: ``O((k / n^{2/3} + log d) log d)`` rounds."""
+    ld = log2(d)
+    return (k / max(n, 1) ** (2.0 / 3.0) + ld) * ld
+
+
+def source_detection_rounds(n: int, m: int, num_sources: int, d: float) -> float:
+    """Theorem 11: ``O((m^{1/3} |S|^{2/3} / n + 1) · d)`` rounds."""
+    load = (max(m, 1) ** (1.0 / 3.0)) * (max(num_sources, 1) ** (2.0 / 3.0)) / max(n, 1)
+    return (load + 1.0) * max(d, 1.0)
+
+
+def bounded_hopset_rounds(n: int, t: float, eps: float, deterministic: bool = False) -> float:
+    """Theorem 12: ``O(log^2 t / eps)`` rounds (plus ``(log log n)^3``
+    for the deterministic hitting set)."""
+    r = log2(t) ** 2 / eps
+    if deterministic:
+        r += det_hitting_set_rounds(n)
+    return r
+
+
+def distance_through_sets_rounds(n: int, rho: float) -> float:
+    """Theorem 35: ``O(rho^{2/3} / n^{1/3} + 1)`` rounds, ``rho`` the average
+    ``|W_v|``."""
+    return max(rho, 0.0) ** (2.0 / 3.0) / max(n, 1) ** (1.0 / 3.0) + 1.0
+
+
+def sparse_matmul_rounds(n: int, rho_s: float, rho_t: float) -> float:
+    """Theorem 36: ``O((rho_S rho_T)^{1/3} / n^{1/3} + 1)`` rounds."""
+    return (max(rho_s, 0.0) * max(rho_t, 0.0)) ** (1.0 / 3.0) / max(n, 1) ** (1.0 / 3.0) + 1.0
+
+
+def filtered_matmul_rounds(
+    n: int, rho_s: float, rho_t: float, rho_out: float, num_values: float
+) -> float:
+    """Theorem 58: ``O((rho_S rho_T rho)^{1/3} / n^{2/3} + log W)`` rounds,
+    ``W`` the number of possible semiring values."""
+    vol = (max(rho_s, 0.0) * max(rho_t, 0.0) * max(rho_out, 0.0)) ** (1.0 / 3.0)
+    return vol / max(n, 1) ** (2.0 / 3.0) + log2(num_values)
+
+
+def det_hitting_set_rounds(n: int) -> float:
+    """Lemma 9 (Parter–Yogev): deterministic hitting sets in
+    ``O((log log n)^3)`` rounds."""
+    return loglog(n) ** 3
+
+
+def soft_hitting_set_rounds(n: int) -> float:
+    """Lemma 43: deterministic *soft* hitting sets in ``O((log log n)^3)``
+    rounds."""
+    return loglog(n) ** 3
+
+
+# ----------------------------------------------------------------------
+# Baseline round models (for the "exponentially faster" comparison)
+# ----------------------------------------------------------------------
+
+def matrix_squaring_apsp_rounds(n: int, diameter_bound: float | None = None) -> float:
+    """Round model of dense min-plus squaring APSP: ``ceil(log2 D)``
+    squarings, each ``O(n^{1/3})`` rounds (Censor-Hillel et al. [4])."""
+    d = diameter_bound if diameter_bound is not None else n
+    return math.ceil(log2(d)) * max(n, 1) ** (1.0 / 3.0)
+
+
+def chkl_apsp_2eps_rounds(n: int, eps: float) -> float:
+    """Round model of the previous state of the art (Censor-Hillel, Dory,
+    Korhonen, Leitersdorf, PODC 19): ``O(log^2 n / eps)`` rounds for
+    ``(2+eps)``-APSP, ``(1+eps)``-MSSP, etc."""
+    return log2(n) ** 2 / eps

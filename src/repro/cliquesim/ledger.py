@@ -1,0 +1,88 @@
+"""Round accounting for Congested Clique executions.
+
+Every high-level algorithm in this library computes its output centrally
+(with numpy) while charging rounds to a :class:`RoundLedger` through the
+closed-form costs in :mod:`repro.cliquesim.costs`.  The ledger records
+*named phases* so benchmarks can report where the rounds go (emulator
+construction vs. hopsets vs. source detection, …), mirroring how the paper's
+proofs decompose their round complexities.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["RoundLedger", "PhaseRecord"]
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """A single charge against the ledger."""
+
+    phase: str
+    rounds: float
+
+    def __post_init__(self) -> None:
+        if self.rounds < 0:
+            raise ValueError(f"negative round charge {self.rounds} in {self.phase!r}")
+        if not math.isfinite(self.rounds):
+            raise ValueError(f"non-finite round charge in {self.phase!r}")
+
+
+@dataclass
+class RoundLedger:
+    """An append-only log of ``(phase, rounds)`` charges.
+
+    ``rounds`` are real-valued: the cost formulas keep their fractional
+    leading terms (e.g. ``k / n^{2/3}``) so that *scaling* with the
+    parameters is visible in benchmarks; a physical execution would take
+    the ceiling.
+    """
+
+    records: List[PhaseRecord] = field(default_factory=list)
+
+    def charge(self, rounds: float, phase: str) -> float:
+        """Record ``rounds`` against ``phase`` and return the charge."""
+        rec = PhaseRecord(phase=phase, rounds=float(rounds))
+        self.records.append(rec)
+        return rec.rounds
+
+    @property
+    def total(self) -> float:
+        """Total rounds charged so far."""
+        return sum(r.rounds for r in self.records)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Total rounds per phase name."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.phase] = out.get(r.phase, 0.0) + r.rounds
+        return out
+
+    def merge(self, other: "RoundLedger", prefix: str = "") -> None:
+        """Append every record of ``other``, optionally namespacing phases."""
+        for r in other.records:
+            self.records.append(
+                PhaseRecord(phase=f"{prefix}{r.phase}", rounds=r.rounds)
+            )
+
+    def __iter__(self) -> Iterator[PhaseRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"RoundLedger(total={self.total:.2f}, phases={len(self.breakdown())})"
+
+    def summary(self) -> str:
+        """Human-readable multi-line breakdown, largest phases first."""
+        rows: List[Tuple[str, float]] = sorted(
+            self.breakdown().items(), key=lambda kv: -kv[1]
+        )
+        lines = [f"total rounds: {self.total:.2f}"]
+        for phase, rounds in rows:
+            lines.append(f"  {phase:<40s} {rounds:10.2f}")
+        return "\n".join(lines)

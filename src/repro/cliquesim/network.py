@@ -1,0 +1,178 @@
+"""A message-level synchronous Congested Clique simulator.
+
+The Congested Clique model (Section 2 of the paper): ``n`` vertices,
+synchronous rounds, and *every ordered pair* of vertices may exchange one
+``O(log n)``-bit message per round.  This module implements that model
+literally, with bandwidth enforcement, so that the routing and broadcast
+primitives (and small end-to-end algorithm executions) can be validated
+against the model rather than merely charged via formulas.
+
+A message payload is a tuple of integers; the simulator checks it fits in
+``words_per_message`` machine words of ``ceil(log2 n) + 8`` bits each
+(constant-factor slack mirrors the usual "O(log n) bits" convention —
+a vertex id plus a distance bounded by ``poly(n)`` fits in O(1) words).
+
+The large-scale distance algorithms do **not** run through this simulator
+(an ``n^2``-messages-per-round simulation is quadratic per round); they use
+:mod:`repro.cliquesim.costs`.  See DESIGN.md, "Substitutions".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .ledger import RoundLedger
+
+__all__ = ["BandwidthError", "CliqueNode", "CongestedClique"]
+
+Payload = Tuple[int, ...]
+
+
+class BandwidthError(RuntimeError):
+    """A node violated the one-message / O(log n)-bit per pair-per-round rule."""
+
+
+class CliqueNode:
+    """Base class for vertex algorithms run on :class:`CongestedClique`.
+
+    Subclasses override :meth:`generate` and :meth:`receive`; the simulator
+    drives rounds until every node reports :meth:`done`.
+    """
+
+    def __init__(self, node_id: int, n: int):
+        self.id = node_id
+        self.n = n
+
+    def generate(self, round_no: int) -> Mapping[int, Payload]:
+        """Messages to send this round, as ``dest -> payload`` (one per dest)."""
+        return {}
+
+    def receive(self, round_no: int, messages: Mapping[int, Payload]) -> None:
+        """Deliver this round's inbound messages as ``src -> payload``."""
+
+    def done(self) -> bool:
+        """Whether this node has terminated."""
+        return True
+
+
+@dataclass
+class CongestedClique:
+    """The synchronous clique network.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    words_per_message:
+        How many ``O(log n)``-bit words one message may carry (default 2:
+        e.g. a vertex id and a distance).
+    """
+
+    n: int
+    words_per_message: int = 2
+    ledger: RoundLedger = field(default_factory=RoundLedger)
+    rounds_executed: int = 0
+    messages_sent: int = 0
+
+    @property
+    def bits_per_word(self) -> int:
+        """Word width: ``ceil(log2 n) + 8`` bits (the O(log n) convention
+        with constant slack — a vertex id plus a poly(n)-bounded value)."""
+        return max(1, math.ceil(math.log2(max(self.n, 2)))) + 8
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_payload(self, src: int, dest: int, payload: Payload) -> None:
+        if not isinstance(payload, tuple):
+            raise BandwidthError(
+                f"node {src} -> {dest}: payload must be a tuple of ints, "
+                f"got {type(payload).__name__}"
+            )
+        if len(payload) > self.words_per_message:
+            raise BandwidthError(
+                f"node {src} -> {dest}: payload has {len(payload)} words, "
+                f"limit is {self.words_per_message}"
+            )
+        limit = 1 << self.bits_per_word
+        for word in payload:
+            if not isinstance(word, int):
+                raise BandwidthError(
+                    f"node {src} -> {dest}: non-integer word {word!r}"
+                )
+            if not -limit <= word < limit:
+                raise BandwidthError(
+                    f"node {src} -> {dest}: word {word} exceeds "
+                    f"{self.bits_per_word} bits"
+                )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def exchange(
+        self, outboxes: Sequence[Mapping[int, Payload]], phase: str = "exchange"
+    ) -> List[Dict[int, Payload]]:
+        """Run one synchronous round given each node's outbox.
+
+        ``outboxes[i]`` maps destination to payload.  Enforces the model:
+        at most one message per ordered pair, word-bounded payloads.
+        Returns per-node inboxes (``src -> payload``).
+        """
+        if len(outboxes) != self.n:
+            raise ValueError(f"expected {self.n} outboxes, got {len(outboxes)}")
+        inboxes: List[Dict[int, Payload]] = [dict() for _ in range(self.n)]
+        for src, outbox in enumerate(outboxes):
+            for dest, payload in outbox.items():
+                if not 0 <= dest < self.n:
+                    raise BandwidthError(f"node {src}: destination {dest} not in clique")
+                self._validate_payload(src, dest, payload)
+                inboxes[dest][src] = payload
+                self.messages_sent += 1
+        self.rounds_executed += 1
+        self.ledger.charge(1, phase)
+        return inboxes
+
+    def run(
+        self,
+        nodes: Sequence[CliqueNode],
+        max_rounds: int = 10_000,
+        phase: str = "run",
+    ) -> int:
+        """Drive ``nodes`` until all report done; returns rounds used."""
+        if len(nodes) != self.n:
+            raise ValueError(f"expected {self.n} nodes, got {len(nodes)}")
+        start = self.rounds_executed
+        for round_no in range(max_rounds):
+            if all(node.done() for node in nodes):
+                return self.rounds_executed - start
+            outboxes = [node.generate(round_no) for node in nodes]
+            inboxes = self.exchange(outboxes, phase=phase)
+            for node, inbox in zip(nodes, inboxes):
+                node.receive(round_no, inbox)
+        raise RuntimeError(f"algorithm did not terminate within {max_rounds} rounds")
+
+    # ------------------------------------------------------------------
+    # Convenience collective operations (each a legal 1-round pattern)
+    # ------------------------------------------------------------------
+    def broadcast(self, src: int, payload: Payload, phase: str = "broadcast") -> List[Payload]:
+        """``src`` sends the same payload to everyone (1 round)."""
+        outboxes: List[Dict[int, Payload]] = [dict() for _ in range(self.n)]
+        outboxes[src] = {dest: payload for dest in range(self.n)}
+        inboxes = self.exchange(outboxes, phase=phase)
+        return [inbox.get(src, ()) for inbox in inboxes]
+
+    def all_to_all(
+        self, values: Sequence[Payload], phase: str = "all-to-all"
+    ) -> List[List[Payload]]:
+        """Every node sends its (single) payload to every other (1 round).
+
+        Returns, per node, the list of payloads indexed by source."""
+        outboxes = [
+            {dest: values[src] for dest in range(self.n)} for src in range(self.n)
+        ]
+        inboxes = self.exchange(outboxes, phase=phase)
+        return [
+            [inbox.get(src, ()) for src in range(self.n)] for inbox in inboxes
+        ]

@@ -1,0 +1,148 @@
+"""Lenzen routing and all-learn collectives.
+
+Lenzen [27] showed that any routing instance in which every vertex is the
+source of at most ``n`` messages and the destination of at most ``n``
+messages can be delivered in ``O(1)`` rounds of the Congested Clique.
+
+This module provides:
+
+* :func:`route` — executes such an instance *through the message-level
+  simulator* using a simple two-phase balanced schedule.  The schedule is
+  not Lenzen's (his needs deterministic sorting networks); it delivers the
+  same instances in ``2 * ceil(max_load / n)`` simulated rounds, which is
+  ``O(1)`` whenever the Lenzen precondition holds with per-pair multiplicity
+  ``O(1)``.  The round *ledger* charge for analyses is always
+  :func:`repro.cliquesim.costs.lenzen_route_rounds`.
+
+* :func:`gather_subgraph` — the "all vertices learn an O(n·x)-edge graph"
+  pattern used by Theorem 32 (learn the emulator): route all edges to a
+  coordinator, split into ``n`` parts, rebroadcast; ``O(x)`` rounds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .costs import learn_subgraph_rounds, lenzen_route_rounds
+from .ledger import RoundLedger
+from .network import CongestedClique
+
+__all__ = ["RoutingError", "route", "gather_subgraph"]
+
+Message = Tuple[int, int, Tuple[int, ...]]  # (src, dest, payload)
+
+
+class RoutingError(RuntimeError):
+    """The instance violates Lenzen's precondition."""
+
+
+def _check_precondition(n: int, messages: Sequence[Message]) -> None:
+    out_load = defaultdict(int)
+    in_load = defaultdict(int)
+    for src, dest, _ in messages:
+        if not (0 <= src < n and 0 <= dest < n):
+            raise RoutingError(f"endpoint out of range in message {src} -> {dest}")
+        out_load[src] += 1
+        in_load[dest] += 1
+    max_out = max(out_load.values(), default=0)
+    max_in = max(in_load.values(), default=0)
+    if max_out > n or max_in > n:
+        raise RoutingError(
+            f"Lenzen precondition violated: max out-load {max_out}, "
+            f"max in-load {max_in}, n={n}"
+        )
+
+
+def route(
+    clique: CongestedClique,
+    messages: Sequence[Message],
+    phase: str = "lenzen-route",
+) -> List[List[Tuple[int, Tuple[int, ...]]]]:
+    """Deliver a Lenzen-routable instance through the simulator.
+
+    Phase 1 spreads each sender's messages evenly over intermediates
+    (message ``j`` of sender ``i`` goes to vertex ``(i + j) mod n``); phase 2
+    forwards from intermediates to destinations, possibly over several
+    simulated rounds if an intermediate holds several messages for one
+    destination.  Returns, per destination vertex, the list of
+    ``(original_src, payload)`` received.
+
+    The extra accounting charge is exactly ``lenzen_route_rounds()``;
+    the simulator additionally logs the literal rounds it used.
+    """
+    n = clique.n
+    _check_precondition(n, messages)
+
+    per_sender: Dict[int, List[Message]] = defaultdict(list)
+    for msg in messages:
+        per_sender[msg[0]].append(msg)
+
+    # Phase 1: spread to intermediates. Message j of sender i goes to
+    # intermediate (i + j) mod n, tagged with its final destination.
+    held: List[List[Tuple[int, int, Tuple[int, ...]]]] = [[] for _ in range(n)]
+    pending = []
+    for src, msgs in per_sender.items():
+        for j, (s, dest, payload) in enumerate(msgs):
+            pending.append((src, (src + j) % n, dest, payload))
+    # Deliver phase-1 messages; one per (src, intermediate) pair per round.
+    while pending:
+        outboxes: List[Dict[int, Tuple[int, ...]]] = [dict() for _ in range(n)]
+        tags: Dict[Tuple[int, int], Tuple[int, Tuple[int, ...]]] = {}
+        leftover = []
+        for src, inter, dest, payload in pending:
+            if inter in outboxes[src]:
+                leftover.append((src, inter, dest, payload))
+                continue
+            outboxes[src][inter] = payload
+            tags[(src, inter)] = (dest, payload)
+        clique.exchange(outboxes, phase=phase)
+        for (src, inter), (dest, payload) in tags.items():
+            held[inter].append((src, dest, payload))
+        pending = leftover
+
+    # Phase 2: forward to destinations; again one per (intermediate, dest)
+    # pair per simulated round.
+    delivered: List[List[Tuple[int, Tuple[int, ...]]]] = [[] for _ in range(n)]
+    remaining = [list(h) for h in held]
+    while any(remaining):
+        outboxes = [dict() for _ in range(n)]
+        sent_now: List[Tuple[int, int, Tuple[int, ...]]] = []
+        for inter in range(n):
+            keep = []
+            used_dests = set()
+            for src, dest, payload in remaining[inter]:
+                if dest in used_dests:
+                    keep.append((src, dest, payload))
+                    continue
+                used_dests.add(dest)
+                outboxes[inter][dest] = payload
+                sent_now.append((src, dest, payload))
+            remaining[inter] = keep
+        clique.exchange(outboxes, phase=phase)
+        for src, dest, payload in sent_now:
+            delivered[dest].append((src, payload))
+
+    clique.ledger.charge(lenzen_route_rounds(), phase=f"{phase}:accounting")
+    return delivered
+
+
+def gather_subgraph(
+    n: int,
+    edges: Iterable[Tuple[int, int, float]],
+    ledger: RoundLedger,
+    phase: str = "learn-subgraph",
+) -> float:
+    """Account for the "all vertices learn this subgraph" collective used in
+    Theorem 32's proof (without simulating it message-by-message).
+
+    The pattern: Lenzen-route all ``E`` edges to one vertex
+    (``O(E/n)`` rounds since each vertex receives ``n`` per round), split the
+    edge list into ``n`` chunks of ``E/n``, hand one chunk per vertex, then
+    every vertex broadcasts its chunk (``O(E/n)`` rounds).  Returns the
+    rounds charged.
+    """
+    num_edges = sum(1 for _ in edges)
+    rounds = learn_subgraph_rounds(num_edges, n)
+    ledger.charge(rounds, phase)
+    return rounds

@@ -1,0 +1,26 @@
+"""Derandomization (Section 5): soft hitting sets and the deterministic
+emulator."""
+
+from .soft_hitting import (
+    SoftHittingInstance,
+    is_soft_hitting_set,
+    sh_value,
+    total_miss_mass,
+)
+from .hashing import BlockHashFamily
+from .conditional import deterministic_soft_hitting_set, random_soft_hitting_set
+from .det_emulator import build_deterministic_hierarchy, build_emulator_deterministic
+from .dnf_hitting import dnf_hitting_set
+
+__all__ = [
+    "SoftHittingInstance",
+    "is_soft_hitting_set",
+    "sh_value",
+    "total_miss_mass",
+    "BlockHashFamily",
+    "deterministic_soft_hitting_set",
+    "random_soft_hitting_set",
+    "build_deterministic_hierarchy",
+    "build_emulator_deterministic",
+    "dnf_hitting_set",
+]

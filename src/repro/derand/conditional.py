@@ -1,0 +1,163 @@
+"""Deterministic soft hitting sets by conditional expectations (Thm 57,
+Lemma 43).
+
+We derandomize the :class:`~repro.derand.hashing.BlockHashFamily` draw.
+Define, for the (partially fixed) block bits,
+
+* ``X = |Z_h| = sum_u x_u`` with ``x_u`` the all-ones indicator of block
+  ``u``;
+* ``Y = sum_v SH(S_v, Z_h) · chi`` with the normalization
+  ``chi = N / (Delta^2 |L|)`` (Theorem 57's scaling that puts ``X`` and
+  ``Y`` on the same order ``N/Delta``).
+
+Blocks are disjoint, so both conditional expectations are exact closed
+forms given a prefix assignment:
+
+* ``E[x_u | prefix] = 0`` if a fixed bit of block ``u`` is 0, else
+  ``2^{-(#unfixed bits of u)}``;
+* ``Pr[S_v missed | prefix] = prod_{u in S_v} (1 - E[x_u | prefix])``.
+
+The algorithm fixes bits greedily, always choosing the value minimizing
+``E[X + Y | prefix]``.  Because ``E[X + Y] = O(N / Delta)`` for a random
+draw (Lemma 56), the final deterministic ``Z`` satisfies both soft hitting
+set properties.  The paper fixes ``floor(log N)`` bits per clique round
+(each candidate chunk value evaluated by one vertex); we fix bit-by-bit —
+the identical method, different scheduling — and charge rounds per
+Lemma 43: ``O((log log n)^3)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cliquesim.costs import soft_hitting_set_rounds
+from ..cliquesim.ledger import RoundLedger
+from .hashing import BlockHashFamily
+from .soft_hitting import SoftHittingInstance
+
+__all__ = ["deterministic_soft_hitting_set", "random_soft_hitting_set"]
+
+
+def random_soft_hitting_set(
+    instance: SoftHittingInstance,
+    rng: np.random.Generator,
+    c_prime: float = 1.0,
+) -> np.ndarray:
+    """One random draw from the Lemma 56 family (no communication)."""
+    family = BlockHashFamily(
+        universe_size=instance.universe_size,
+        delta=instance.delta,
+        c_prime=c_prime,
+    )
+    member = family.sample_membership(rng)
+    return np.asarray(instance.universe)[member]
+
+
+def deterministic_soft_hitting_set(
+    instance: SoftHittingInstance,
+    n: Optional[int] = None,
+    ledger: Optional[RoundLedger] = None,
+    c_prime: float = 1.0,
+) -> np.ndarray:
+    """Lemma 43: a deterministic soft hitting set ``Z ⊆ R`` with
+    ``|Z| <= E[X + Y] = O(|R|/Delta)`` and miss mass ``O(Delta |L|)``.
+
+    Returns the chosen subset of ``instance.universe`` (vertex ids).
+    """
+    big_n = instance.universe_size
+    if big_n == 0:
+        return np.zeros(0, dtype=np.int64)
+    family = BlockHashFamily(
+        universe_size=big_n, delta=instance.delta, c_prime=c_prime
+    )
+    ell = family.block_bits
+
+    # Index sets over positions 0..N-1 of the universe array.
+    pos_of: Dict[int, int] = {int(v): i for i, v in enumerate(instance.universe)}
+    sets_pos: List[np.ndarray] = [
+        np.asarray([pos_of[int(v)] for v in s], dtype=np.int64)
+        for s in instance.sets
+    ]
+    member_sets: List[List[int]] = [[] for _ in range(big_n)]
+    for j, s in enumerate(sets_pos):
+        for u in s:
+            member_sets[int(u)].append(j)
+
+    chi = big_n / (instance.delta**2 * max(instance.num_sets, 1))
+
+    # State: per block u — alive (no fixed zero) and unfixed bit count.
+    alive = np.ones(big_n, dtype=bool)
+    unfixed = np.full(big_n, ell, dtype=np.int64)
+    q = np.full(big_n, 2.0 ** (-ell))  # E[x_u | prefix]
+    # Per set: product of (1 - q_u) over members.
+    set_prod = np.array(
+        [float(np.prod(1.0 - q[s])) for s in sets_pos], dtype=np.float64
+    )
+    set_size = np.array([len(s) for s in sets_pos], dtype=np.float64)
+
+    def apply(u: int, q_new: float) -> None:
+        q_old = q[u]
+        for j in member_sets[u]:
+            denom = 1.0 - q_old
+            if denom <= 0:
+                set_prod[j] = float(
+                    np.prod([1.0 - q[x] for x in sets_pos[j] if x != u])
+                ) * (1.0 - q_new)
+            else:
+                set_prod[j] = set_prod[j] / denom * (1.0 - q_new)
+        q[u] = q_new
+
+    # Fix bits block by block (method of conditional expectations).
+    for u in range(big_n):
+        for _ in range(ell):
+            if not alive[u]:
+                break
+            remaining = int(unfixed[u])
+            # Option "bit = 1": q doubles; option "bit = 0": q -> 0, dead.
+            q_one = min(1.0, q[u] * 2.0) if remaining >= 1 else q[u]
+            cost_one = (q_one - q[u]) + _y_delta(
+                u, q_one, q, sets_pos, member_sets, set_prod, set_size, chi
+            )
+            cost_zero = (0.0 - q[u]) + _y_delta(
+                u, 0.0, q, sets_pos, member_sets, set_prod, set_size, chi
+            )
+            if cost_one <= cost_zero:
+                apply(u, q_one)
+                unfixed[u] = remaining - 1
+            else:
+                apply(u, 0.0)
+                alive[u] = False
+                unfixed[u] = 0
+
+    chosen_positions = np.flatnonzero(alive & (q >= 1.0 - 1e-12))
+    if n is not None and ledger is not None:
+        ledger.charge(soft_hitting_set_rounds(n), "soft-hitting-set:deterministic")
+    return np.asarray(instance.universe)[chosen_positions]
+
+
+def _y_delta(
+    u: int,
+    q_new: float,
+    q: np.ndarray,
+    sets_pos: List[np.ndarray],
+    member_sets: List[List[int]],
+    set_prod: np.ndarray,
+    set_size: np.ndarray,
+    chi: float,
+) -> float:
+    """Change in the ``Y`` part of the objective if ``q_u`` becomes
+    ``q_new`` (products over disjoint blocks factorize exactly)."""
+    q_old = q[u]
+    d = 0.0
+    for j in member_sets[u]:
+        denom = 1.0 - q_old
+        if denom <= 0:
+            others = float(np.prod([1.0 - q[x] for x in sets_pos[j] if x != u]))
+            new_prod = others * (1.0 - q_new)
+        else:
+            new_prod = set_prod[j] / denom * (1.0 - q_new)
+        d += chi * set_size[j] * (new_prod - set_prod[j])
+    return d

@@ -1,0 +1,90 @@
+"""The Lemma 56 hash family ``H = {h : [N] -> {0, 1}}``.
+
+Construction: with target probability ``p = c'/Delta``, let
+``l = floor(log2 (1/p))``.  A function ``h_s`` is described by ``N`` blocks
+of ``l`` bits each; ``h_s(i) = 1`` iff all bits of block ``i`` are 1, so
+``Pr[h(i) = 1] = 2^{-l} ∈ [p, 2p)`` (the paper's property (i) accordingly
+bounds ``E|Z_h| <= 2 c' N / Delta``).
+
+The paper draws the ``N·l`` bits from the Gopalan et al. PRG (Theorem 55)
+to compress the seed to ``O(log N (log log N)^3)`` bits while fooling the
+two read-once-DNF events the analysis uses.  Our substitution (see
+DESIGN.md): the same block structure over *independent* bits — every
+expectation the derandomization consumes is then exact (fooling error 0),
+and the deterministic algorithm in :mod:`repro.derand.conditional`
+derandomizes these independent bits directly by conditional expectations.
+The properties proved in Lemma 56 hold verbatim:
+
+* (i)  ``E[|Z_h|] = N · 2^{-l} <= c' N / Delta``;
+* (ii) ``E[SH(S, Z_h)] = |S| (1 - 2^{-l})^{|S|} <= |S| e^{-|S| 2^{-l}}
+  = O(Delta)`` for ``|S| >= Delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+__all__ = ["BlockHashFamily"]
+
+
+@dataclass(frozen=True)
+class BlockHashFamily:
+    """The block hash family for universe size ``N`` and density ``Delta``.
+
+    ``c_prime`` is the constant in ``p = c'/Delta``; ``block_bits`` is the
+    per-element block length ``l``.
+    """
+
+    universe_size: int
+    delta: int
+    c_prime: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 0:
+            raise ValueError("universe size must be non-negative")
+        if self.delta < 1:
+            raise ValueError(f"delta must be >= 1, got {self.delta}")
+        if self.c_prime <= 0:
+            raise ValueError(f"c' must be positive, got {self.c_prime}")
+
+    @property
+    def target_probability(self) -> float:
+        """``p = min(1, c'/Delta)``."""
+        return min(1.0, self.c_prime / self.delta)
+
+    @property
+    def block_bits(self) -> int:
+        """``l = floor(log2(1/p))``, at least 1."""
+        return max(1, math.floor(math.log2(1.0 / self.target_probability)))
+
+    @property
+    def effective_probability(self) -> float:
+        """``Pr[h(i) = 1] = 2^{-l}``."""
+        return 2.0 ** (-self.block_bits)
+
+    @property
+    def seed_bits(self) -> int:
+        """Total random bits ``N · l`` consumed by one draw (the PRG of the
+        paper would compress these to ``O(log N (log log N)^3)``)."""
+        return self.universe_size * self.block_bits
+
+    def sample_membership(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``h`` uniformly and return the boolean vector
+        ``[h(0), …, h(N-1)]`` — element ``i`` is in ``Z_h`` iff all
+        ``block_bits`` of its block are 1."""
+        if self.universe_size == 0:
+            return np.zeros(0, dtype=bool)
+        bits = rng.integers(
+            0, 2, size=(self.universe_size, self.block_bits), dtype=np.int8
+        )
+        return bits.all(axis=1)
+
+    def expected_size(self) -> float:
+        """``E[|Z_h|]``."""
+        return self.universe_size * self.effective_probability
+
+    def expected_miss(self, set_size: int) -> float:
+        """``E[SH(S, Z_h)] = |S| (1 - 2^{-l})^{|S|}``."""
+        return set_size * (1.0 - self.effective_probability) ** set_size

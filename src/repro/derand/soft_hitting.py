@@ -1,0 +1,89 @@
+"""The soft hitting set problem (Definition 42).
+
+Input: vertex sets ``L`` and ``R``; every ``u ∈ L`` holds ``S_u ⊆ R`` with
+``|S_u| >= Delta``.  With ``SH(S, Z) = 0`` if ``S ∩ Z ≠ ∅`` and ``|S|``
+otherwise, a set ``Z ⊆ R`` is a *soft hitting set* if
+
+1. ``|Z| = O(|R| / Delta)``  — crucially *without* the ``log n`` factor a
+   plain hitting set would need, and
+2. ``sum_u SH(S_u, Z) = O(Delta · |L|)`` — sets may be missed, but the
+   total mass of missed sets is bounded.
+
+Property (2) is exactly what the emulator's size analysis consumes
+(Claim 46): a missed ``T_v`` makes ``v`` add ``|T_v|`` edges, so bounding
+the *sum* bounds the emulator size without needing every set hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["SoftHittingInstance", "sh_value", "total_miss_mass", "is_soft_hitting_set"]
+
+
+def sh_value(s: Sequence[int], z: set) -> int:
+    """``SH(S, Z)``: 0 if hit, ``|S|`` otherwise."""
+    if any(int(v) in z for v in s):
+        return 0
+    return len(s)
+
+
+@dataclass(frozen=True)
+class SoftHittingInstance:
+    """An instance of the soft hitting set problem.
+
+    ``sets[j]`` is ``S_{u_j}`` for the ``j``-th vertex of ``L``; every
+    element must belong to ``universe`` (the set ``R``).
+    """
+
+    universe: np.ndarray  # the set R (vertex ids)
+    sets: List[np.ndarray]  # the S_u, each of size >= delta
+    delta: int
+
+    def __post_init__(self) -> None:
+        if self.delta < 1:
+            raise ValueError(f"delta must be >= 1, got {self.delta}")
+        ru = set(int(x) for x in self.universe)
+        for j, s in enumerate(self.sets):
+            if len(s) < self.delta:
+                raise ValueError(
+                    f"set {j} has size {len(s)} < delta={self.delta}"
+                )
+            if not all(int(v) in ru for v in s):
+                raise ValueError(f"set {j} contains elements outside R")
+
+    @property
+    def num_sets(self) -> int:
+        """``|L|``."""
+        return len(self.sets)
+
+    @property
+    def universe_size(self) -> int:
+        """``|R|``."""
+        return int(len(self.universe))
+
+
+def total_miss_mass(instance: SoftHittingInstance, z: Sequence[int]) -> int:
+    """``sum_u SH(S_u, Z)`` — the mass of missed sets."""
+    zset = set(int(v) for v in z)
+    return sum(sh_value(s, zset) for s in instance.sets)
+
+
+def is_soft_hitting_set(
+    instance: SoftHittingInstance,
+    z: Sequence[int],
+    size_constant: float = 4.0,
+    miss_constant: float = 4.0,
+) -> bool:
+    """Check Definition 42 with explicit constants:
+    ``|Z| <= size_constant · |R| / Delta`` and
+    ``miss mass <= miss_constant · Delta · |L|``."""
+    if len(z) > size_constant * instance.universe_size / instance.delta + 1:
+        return False
+    return (
+        total_miss_mass(instance, z)
+        <= miss_constant * instance.delta * max(instance.num_sets, 1)
+    )

@@ -1,0 +1,31 @@
+"""Near-additive emulators (Section 3 of the paper)."""
+
+from .params import EmulatorParams, sampling_probabilities
+from .sampling import Hierarchy, sample_hierarchy
+from .builder import EmulatorResult, build_emulator, edges_for_vertex
+from .warmup import WarmupEmulator, build_warmup_emulator
+from .clique import build_emulator_cc, cc_stretch_bound
+from .whp import DrawEvaluation, build_emulator_whp, evaluate_draw
+from .thorup_zwick import TZEmulator, build_tz_emulator
+from .spanner import SpannerResult, emulator_to_spanner
+
+__all__ = [
+    "SpannerResult",
+    "emulator_to_spanner",
+    "TZEmulator",
+    "build_tz_emulator",
+    "EmulatorParams",
+    "sampling_probabilities",
+    "Hierarchy",
+    "sample_hierarchy",
+    "EmulatorResult",
+    "build_emulator",
+    "edges_for_vertex",
+    "WarmupEmulator",
+    "build_warmup_emulator",
+    "build_emulator_cc",
+    "cc_stretch_bound",
+    "DrawEvaluation",
+    "build_emulator_whp",
+    "evaluate_draw",
+]

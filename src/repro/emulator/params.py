@@ -1,0 +1,122 @@
+"""Emulator parameters (Section 3.2, Claims 19–22).
+
+The construction is driven by three sequences derived from ``eps`` and the
+number of levels ``r``:
+
+* ``delta_i = 1/eps^i + 2 R_i`` — the exploration radius of level ``i``;
+* ``R_i = sum_{j<i} delta_j`` — the cluster-centre displacement bound
+  (Claim 13: an ``i``-clustered vertex is within ``R_i`` of ``c_i(v)``);
+* ``beta_i = 4 sum_{j<=i} 2^{i-j} R_j`` — the additive stretch accumulated
+  by level ``i`` (Claim 21: ``beta_i = 4 R_i + 2 beta_{i-1}``).
+
+Closed forms (verified by tests against the recurrences):
+
+* Claim 19: ``R_i = sum_{j=0}^{i-1} 3^{i-1-j} / eps^j``;
+* Claim 20: ``R_i <= 2 / eps^{i-1}`` for ``eps < 1/6``;
+* Claim 22: ``beta_i <= 10 / eps^{i-1}`` for ``eps < 1/10``.
+
+The *public* stretch target rescales: Lemma 23 proves stretch
+``(1 + 20 eps r, beta_r)``, so an emulator with target multiplicative error
+``eps_target`` runs the construction at ``eps = eps_target / (20 r)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["EmulatorParams", "sampling_probabilities"]
+
+
+@dataclass(frozen=True)
+class EmulatorParams:
+    """All derived constants of the Section 3 construction."""
+
+    eps: float
+    r: int
+    deltas: List[float] = field(default_factory=list)
+    big_rs: List[float] = field(default_factory=list)
+    betas: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.eps < 1:
+            raise ValueError(f"eps must be in (0, 1), got {self.eps}")
+        if self.r < 1:
+            raise ValueError(f"r must be >= 1, got {self.r}")
+        if not self.deltas:
+            deltas, big_rs, betas = _derive(self.eps, self.r)
+            object.__setattr__(self, "deltas", deltas)
+            object.__setattr__(self, "big_rs", big_rs)
+            object.__setattr__(self, "betas", betas)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_target_eps(cls, eps_target: float, r: int) -> "EmulatorParams":
+        """Rescale the target multiplicative stretch per Lemma 23/Thm 24:
+        construction ``eps = eps_target / (20 r)``."""
+        return cls(eps=eps_target / (20.0 * r), r=r)
+
+    @staticmethod
+    def default_r(n: int) -> int:
+        """The paper's choice ``r = log log n`` (clamped to at least 2)."""
+        return max(2, round(math.log2(max(math.log2(max(n, 4)), 2.0))))
+
+    # ------------------------------------------------------------------
+    @property
+    def beta(self) -> float:
+        """The additive stretch term ``beta_r``."""
+        return self.betas[self.r]
+
+    @property
+    def delta_r(self) -> float:
+        """The largest exploration radius."""
+        return self.deltas[self.r]
+
+    @property
+    def multiplicative(self) -> float:
+        """The multiplicative stretch ``1 + 20 eps r`` of Lemma 23."""
+        return 1.0 + 20.0 * self.eps * self.r
+
+    def stretch_bound(self, distance: float) -> float:
+        """The Lemma 23 upper bound ``(1 + 20 eps r) d + beta_r``."""
+        return self.multiplicative * distance + self.beta
+
+    def expected_edge_bound(self, n: int, constant: float = 1.0) -> float:
+        """Lemma 18's expected size ``O(r n^{1 + 1/2^r})``."""
+        return constant * self.r * n ** (1.0 + 1.0 / (2**self.r))
+
+
+def _derive(eps: float, r: int):
+    """Evaluate the delta/R/beta recurrences for levels ``0 .. r``."""
+    deltas: List[float] = []
+    big_rs: List[float] = [0.0]
+    betas: List[float] = [0.0]
+    for i in range(r + 1):
+        delta_i = eps ** (-i) + 2.0 * big_rs[i]
+        deltas.append(delta_i)
+        big_rs.append(big_rs[i] + delta_i)  # R_{i+1} = R_i + delta_i
+        if i >= 1:
+            # beta_i = 4 R_i + 2 beta_{i-1}   (Claim 21)
+            betas.append(4.0 * big_rs[i] + 2.0 * betas[i - 1])
+    big_rs = big_rs[: r + 1]
+    return deltas, big_rs, betas
+
+
+def sampling_probabilities(n: int, r: int) -> List[float]:
+    """The level sampling probabilities of Section 3.2:
+    ``p_i = n^{-2^{i-1}/2^r}`` for ``1 <= i <= r-1`` and ``p_r = n^{-1/2^r}``
+    (footnote 8: the special ``p_r`` aids the clique implementation; the
+    product over all levels gives ``Pr[v ∈ S_r] = 1/sqrt(n)`` — Claim 15).
+    """
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    base = max(n, 2)
+    probs = [1.0]  # p_0 — everything is in S_0
+    for i in range(1, r + 1):
+        if i < r:
+            exponent = (2 ** (i - 1)) / (2**r)
+        else:
+            exponent = 1.0 / (2**r)
+        probs.append(base ** (-exponent))
+    return probs

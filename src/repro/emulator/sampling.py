@@ -1,0 +1,77 @@
+"""The sampled hierarchy ``S_0 ⊃ S_1 ⊃ … ⊃ S_r`` (Section 3.2).
+
+``S_0 = V`` and ``S_i ← Sample(S_{i-1}, p_i)`` with the probabilities of
+:func:`repro.emulator.params.sampling_probabilities`.  Claims 14–16:
+``E|S_i| = n^{1 - (2^i - 1)/2^r}``, ``Pr[v ∈ S_r] = 1/sqrt(n)``, and
+``|S_r| = O(sqrt n)`` w.h.p.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .params import sampling_probabilities
+
+__all__ = ["Hierarchy", "sample_hierarchy"]
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """Membership masks of the sampled sets.
+
+    ``masks`` has shape ``(r + 2, n)``: row ``i`` is the indicator of
+    ``S_i``; row ``r + 1`` is all-False (``S_{r+1} = ∅``).  ``levels[v]``
+    is the largest ``i`` with ``v ∈ S_i`` — the unique level at which ``v``
+    adds its emulator edges (``v ∈ S_i \\ S_{i+1}``).
+    """
+
+    masks: np.ndarray
+    levels: np.ndarray
+
+    @property
+    def r(self) -> int:
+        """Number of sampled levels."""
+        return self.masks.shape[0] - 2
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.masks.shape[1]
+
+    def set_members(self, i: int) -> np.ndarray:
+        """Sorted vertex array of ``S_i``."""
+        return np.flatnonzero(self.masks[i])
+
+    def sizes(self) -> List[int]:
+        """``[|S_0|, …, |S_r|]``."""
+        return [int(self.masks[i].sum()) for i in range(self.r + 1)]
+
+    @classmethod
+    def from_masks(cls, masks: np.ndarray) -> "Hierarchy":
+        """Build (and validate nesting of) a hierarchy from indicator rows,
+        appending the empty ``S_{r+1}`` row."""
+        masks = np.asarray(masks, dtype=bool)
+        for i in range(1, masks.shape[0]):
+            if (masks[i] & ~masks[i - 1]).any():
+                raise ValueError(f"S_{i} is not a subset of S_{i-1}")
+        full = np.vstack([masks, np.zeros((1, masks.shape[1]), dtype=bool)])
+        levels = np.zeros(masks.shape[1], dtype=np.int64)
+        for i in range(1, masks.shape[0]):
+            levels[masks[i]] = i
+        return cls(masks=full, levels=levels)
+
+
+def sample_hierarchy(
+    n: int, r: int, rng: np.random.Generator
+) -> Hierarchy:
+    """Draw the nested hierarchy with the Section 3.2 probabilities."""
+    probs = sampling_probabilities(n, r)
+    rows = [np.ones(n, dtype=bool)]
+    for i in range(1, r + 1):
+        prev = rows[-1]
+        keep = rng.random(n) < probs[i]
+        rows.append(prev & keep)
+    return Hierarchy.from_masks(np.vstack(rows))

@@ -1,0 +1,38 @@
+"""Graph substrate: data structures, generators, and exact distances."""
+
+from .graph import Graph, WeightedGraph
+from .distances import (
+    all_pairs_distances,
+    ball,
+    bfs_distances,
+    diameter,
+    dijkstra,
+    eccentricity,
+    hop_limited_bellman_ford,
+    k_nearest_within,
+    multi_source_bfs,
+    to_scipy_csr,
+    weighted_all_pairs,
+    weighted_to_scipy_csr,
+)
+from . import generators
+from . import io
+
+__all__ = [
+    "io",
+    "Graph",
+    "WeightedGraph",
+    "generators",
+    "all_pairs_distances",
+    "ball",
+    "bfs_distances",
+    "diameter",
+    "dijkstra",
+    "eccentricity",
+    "hop_limited_bellman_ford",
+    "k_nearest_within",
+    "multi_source_bfs",
+    "to_scipy_csr",
+    "weighted_all_pairs",
+    "weighted_to_scipy_csr",
+]

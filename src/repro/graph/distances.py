@@ -1,0 +1,231 @@
+"""Exact distance computations (the sequential ground truth).
+
+These routines are the *reference oracle* for every approximation the
+library produces, and also serve as internal building blocks where the
+paper's algorithms need exact truncated balls (the ideal Section 3.2
+emulator inspects ``B(v, delta_i, G)`` exactly).
+
+Conventions
+-----------
+* Unreachable pairs have distance ``numpy.inf`` (matrices are ``float64``).
+* ``max_dist`` truncation means the search stops expanding past that radius;
+  entries farther than ``max_dist`` are reported as ``inf``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+
+from .graph import Graph, WeightedGraph
+
+__all__ = [
+    "bfs_distances",
+    "multi_source_bfs",
+    "ball",
+    "k_nearest_within",
+    "all_pairs_distances",
+    "hop_limited_bellman_ford",
+    "dijkstra",
+    "weighted_all_pairs",
+    "to_scipy_csr",
+    "weighted_to_scipy_csr",
+    "eccentricity",
+    "diameter",
+]
+
+
+# ----------------------------------------------------------------------
+# Unweighted BFS
+# ----------------------------------------------------------------------
+
+def bfs_distances(g: Graph, source: int, max_dist: float = np.inf) -> np.ndarray:
+    """Distances from ``source`` in the unweighted graph, truncated at
+    ``max_dist`` (vertices farther away report ``inf``)."""
+    return multi_source_bfs(g, [source], max_dist=max_dist)
+
+
+def multi_source_bfs(
+    g: Graph, sources: Sequence[int], max_dist: float = np.inf
+) -> np.ndarray:
+    """Distance to the *nearest* of ``sources``, truncated at ``max_dist``.
+
+    Level-synchronous BFS; each level concatenates the CSR neighbour slices
+    of the current frontier, so the cost is ``O(m)`` total.
+    """
+    dist = np.full(g.n, np.inf)
+    frontier = np.unique(np.asarray(list(sources), dtype=np.int64))
+    if frontier.size == 0:
+        return dist
+    dist[frontier] = 0.0
+    level = 0
+    while frontier.size and level < max_dist:
+        level += 1
+        nbr_chunks = [g.indices[g.indptr[v] : g.indptr[v + 1]] for v in frontier]
+        if not nbr_chunks:
+            break
+        cand = np.unique(np.concatenate(nbr_chunks)) if nbr_chunks else frontier[:0]
+        new = cand[np.isinf(dist[cand])]
+        dist[new] = level
+        frontier = new
+    return dist
+
+
+def ball(g: Graph, v: int, radius: float) -> Tuple[np.ndarray, np.ndarray]:
+    """The ball ``B(v, radius, G)``: vertices within distance ``radius`` of
+    ``v`` (including ``v``), returned as ``(vertices, distances)`` sorted by
+    distance then vertex id."""
+    dist = bfs_distances(g, v, max_dist=radius)
+    inside = np.flatnonzero(dist <= radius)
+    order = np.lexsort((inside, dist[inside]))
+    inside = inside[order]
+    return inside, dist[inside]
+
+
+def k_nearest_within(
+    g: Graph, v: int, k: int, d: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact ``(k, d)``-nearest of ``v`` (Section 2): the ``k`` closest
+    vertices at distance at most ``d`` (all of them if fewer), ties broken
+    by vertex id.  ``v`` itself (distance 0) is included, matching the
+    matrix-based definition where the diagonal is 0."""
+    verts, dists = ball(g, v, d)
+    return verts[:k], dists[:k]
+
+
+def all_pairs_distances(g: Graph, method: str = "scipy") -> np.ndarray:
+    """Exact unweighted APSP as an ``(n, n)`` float matrix.
+
+    ``method="scipy"`` uses the C BFS in :mod:`scipy.sparse.csgraph`;
+    ``method="bfs"`` runs the library's own level-synchronous BFS per source
+    (used in tests to cross-validate the scipy fast path).
+    """
+    if method == "scipy":
+        if g.n == 0:
+            return np.zeros((0, 0))
+        return csgraph.shortest_path(to_scipy_csr(g), method="D", unweighted=True)
+    if method == "bfs":
+        out = np.empty((g.n, g.n))
+        for s in range(g.n):
+            out[s] = bfs_distances(g, s)
+        return out
+    raise ValueError(f"unknown method {method!r}")
+
+
+# ----------------------------------------------------------------------
+# Weighted distances
+# ----------------------------------------------------------------------
+
+def hop_limited_bellman_ford(
+    wg: WeightedGraph, sources: Sequence[int], max_hops: int
+) -> np.ndarray:
+    """``max_hops``-hop-bounded distances from each source (Bellman–Ford).
+
+    Returns a ``(len(sources), n)`` matrix whose entry ``[i, v]`` is
+    ``d^{max_hops}(sources[i], v)`` in ``wg`` — exactly the quantity the
+    ``(S, d)``-source detection task of Theorem 11 computes.
+    """
+    sources = list(sources)
+    n = wg.n
+    dist = np.full((len(sources), n), np.inf)
+    for i, s in enumerate(sources):
+        dist[i, s] = 0.0
+    us, vs, ws = wg.edge_arrays()
+    if us.size == 0 or not sources:
+        return dist
+    # Directed relaxation arcs (both orientations), grouped by target so a
+    # single vectorized reduceat performs the scatter-min per hop.
+    targets = np.concatenate([vs, us])
+    origins = np.concatenate([us, vs])
+    weights = np.concatenate([ws, ws])
+    order = np.argsort(targets, kind="stable")
+    targets, origins, weights = targets[order], origins[order], weights[order]
+    group_starts = np.flatnonzero(
+        np.concatenate([[True], targets[1:] != targets[:-1]])
+    )
+    unique_targets = targets[group_starts]
+    for _ in range(max_hops):
+        prev = dist
+        cand = prev[:, origins] + weights  # (|S|, 2m)
+        mins = np.minimum.reduceat(cand, group_starts, axis=1)
+        dist = prev.copy()
+        dist[:, unique_targets] = np.minimum(dist[:, unique_targets], mins)
+        if np.array_equal(dist, prev):
+            break
+    return dist
+
+
+def dijkstra(wg: WeightedGraph, source: int, max_dist: float = np.inf) -> np.ndarray:
+    """Single-source Dijkstra on a :class:`WeightedGraph`, truncated at
+    ``max_dist``."""
+    dist = np.full(wg.n, np.inf)
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u] or d > max_dist:
+            continue
+        for v, w in wg.neighbors(u).items():
+            nd = d + w
+            if nd < dist[v] and nd <= max_dist:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def weighted_all_pairs(wg: WeightedGraph, sources: Sequence[int] | None = None) -> np.ndarray:
+    """Exact weighted distances from ``sources`` (default: all vertices) in
+    ``wg``, via the C Dijkstra in scipy.  Shape ``(len(sources), n)``."""
+    mat = weighted_to_scipy_csr(wg)
+    if sources is None:
+        return csgraph.dijkstra(mat, directed=False)
+    sources = list(sources)
+    if not sources:
+        return np.zeros((0, wg.n))
+    return csgraph.dijkstra(mat, directed=False, indices=sources)
+
+
+# ----------------------------------------------------------------------
+# Conversions and diameter
+# ----------------------------------------------------------------------
+
+def to_scipy_csr(g: Graph) -> sp.csr_matrix:
+    """Unweighted graph as a symmetric 0/1 scipy CSR matrix."""
+    e = g.edges()
+    if len(e) == 0:
+        return sp.csr_matrix((g.n, g.n))
+    data = np.ones(2 * len(e))
+    rows = np.concatenate([e[:, 0], e[:, 1]])
+    cols = np.concatenate([e[:, 1], e[:, 0]])
+    return sp.csr_matrix((data, (rows, cols)), shape=(g.n, g.n))
+
+
+def weighted_to_scipy_csr(wg: WeightedGraph) -> sp.csr_matrix:
+    """Weighted graph as a symmetric scipy CSR matrix of weights."""
+    us, vs, ws = wg.edge_arrays()
+    if us.size == 0:
+        return sp.csr_matrix((wg.n, wg.n))
+    rows = np.concatenate([us, vs])
+    cols = np.concatenate([vs, us])
+    data = np.concatenate([ws, ws])
+    return sp.csr_matrix((data, (rows, cols)), shape=(wg.n, wg.n))
+
+
+def eccentricity(g: Graph, v: int) -> float:
+    """Max finite distance from ``v`` (``inf`` if ``v`` reaches nothing)."""
+    d = bfs_distances(g, v)
+    finite = d[np.isfinite(d)]
+    return float(finite.max()) if finite.size else np.inf
+
+
+def diameter(g: Graph) -> float:
+    """The (unweighted) diameter over reachable pairs; 0 for edgeless graphs."""
+    if g.n == 0:
+        return 0.0
+    dist = all_pairs_distances(g)
+    finite = dist[np.isfinite(dist)]
+    return float(finite.max()) if finite.size else 0.0

@@ -1,0 +1,93 @@
+"""Persistence: save/load graphs and distance estimates as ``.npz``.
+
+Benchmark sweeps and examples can checkpoint workloads and results so
+runs are replayable without re-generation.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .graph import Graph, WeightedGraph
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_weighted_graph",
+    "load_weighted_graph",
+    "save_estimates",
+    "load_estimates",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(path: str, g: Graph) -> None:
+    """Write an unweighted graph to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        kind="graph",
+        version=_FORMAT_VERSION,
+        n=g.n,
+        edges=g.edges(),
+    )
+
+
+def load_graph(path: str) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check(data, "graph")
+        return Graph(int(data["n"]), data["edges"])
+
+
+def save_weighted_graph(path: str, wg: WeightedGraph) -> None:
+    """Write a weighted graph to ``path`` (.npz)."""
+    us, vs, ws = wg.edge_arrays()
+    np.savez_compressed(
+        path,
+        kind="weighted",
+        version=_FORMAT_VERSION,
+        n=wg.n,
+        us=us,
+        vs=vs,
+        ws=ws,
+    )
+
+
+def load_weighted_graph(path: str) -> WeightedGraph:
+    """Read a weighted graph written by :func:`save_weighted_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check(data, "weighted")
+        wg = WeightedGraph(int(data["n"]))
+        for u, v, w in zip(data["us"], data["vs"], data["ws"]):
+            wg.add_edge(int(u), int(v), float(w))
+        return wg
+
+
+def save_estimates(path: str, estimates: np.ndarray, name: str = "") -> None:
+    """Write a distance-estimate matrix (inf-safe) to ``path``."""
+    np.savez_compressed(
+        path,
+        kind="estimates",
+        version=_FORMAT_VERSION,
+        name=name,
+        estimates=np.asarray(estimates, dtype=np.float64),
+    )
+
+
+def load_estimates(path: str) -> Tuple[np.ndarray, str]:
+    """Read ``(estimates, name)`` written by :func:`save_estimates`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check(data, "estimates")
+        return data["estimates"], str(data["name"])
+
+
+def _check(data, expected_kind: str) -> None:
+    kind = str(data["kind"])
+    if kind != expected_kind:
+        raise ValueError(f"file holds a {kind!r}, expected {expected_kind!r}")
+    version = int(data["version"])
+    if version > _FORMAT_VERSION:
+        raise ValueError(f"file format version {version} is newer than supported")

@@ -1,0 +1,26 @@
+"""Min-plus (tropical) matrix products: dense, sparse, and filtered."""
+
+from .semiring import (
+    MINPLUS_ZERO,
+    apsp_by_squaring,
+    density,
+    minplus_power,
+    minplus_product,
+    minplus_square,
+)
+from .sparse import row_sparse_minplus, sparse_minplus_with_cost
+from .filtered import filter_rows, filtered_product, filtered_product_with_cost
+
+__all__ = [
+    "MINPLUS_ZERO",
+    "apsp_by_squaring",
+    "density",
+    "minplus_power",
+    "minplus_product",
+    "minplus_square",
+    "row_sparse_minplus",
+    "sparse_minplus_with_cost",
+    "filter_rows",
+    "filtered_product",
+    "filtered_product_with_cost",
+]

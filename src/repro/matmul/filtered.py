@@ -1,0 +1,78 @@
+"""Filtered min-plus products (Theorem 58 / Appendix B.2).
+
+Given a density budget ``rho``, the *filter* of a matrix keeps, in each
+row, only the ``rho`` smallest finite entries (ties broken by column id,
+so filtering is deterministic).  The filtered product problem asks for
+``filter(S · T)`` — the congested-clique algorithm of [3] computes it in
+``O((rho_S rho_T rho)^{1/3} / n^{2/3} + log W)`` rounds, where ``W`` bounds
+the number of distinct semiring values (for hop-bounded unweighted
+distances, ``W = O(d)``, which is where the ``log d`` factors of
+Theorem 10 come from).
+
+These semantics power the ``(k, d)``-nearest algorithm: iterate
+``A_{i+1} = filter(A_i · A_i)`` for ``log d`` steps (Claim 59).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cliquesim.costs import filtered_matmul_rounds
+from ..cliquesim.ledger import RoundLedger
+from .semiring import density
+from .sparse import row_sparse_minplus
+
+__all__ = ["filter_rows", "filtered_product", "filtered_product_with_cost"]
+
+
+def filter_rows(m: np.ndarray, rho: int) -> np.ndarray:
+    """Keep only the ``rho`` smallest finite entries in each row
+    (ties by column id); everything else becomes ``inf``."""
+    if rho < 0:
+        raise ValueError(f"rho must be non-negative, got {rho}")
+    m = np.asarray(m, dtype=np.float64)
+    n_cols = m.shape[1]
+    if rho >= n_cols:
+        return m.copy()
+    out = np.full_like(m, np.inf)
+    if rho == 0:
+        return out
+    # argsort is stable on values; add a tiny column-id tiebreak by sorting
+    # the pairs (value, col): numpy lexsort gives exactly that.
+    for i in range(m.shape[0]):
+        row = m[i]
+        finite = np.flatnonzero(np.isfinite(row))
+        if finite.size == 0:
+            continue
+        order = np.lexsort((finite, row[finite]))
+        keep = finite[order[:rho]]
+        out[i, keep] = row[keep]
+    return out
+
+
+def filtered_product(s: np.ndarray, t: np.ndarray, rho: int) -> np.ndarray:
+    """``filter_rows(S · T, rho)`` computed sparsely."""
+    return filter_rows(row_sparse_minplus(s, t), rho)
+
+
+def filtered_product_with_cost(
+    s: np.ndarray,
+    t: np.ndarray,
+    rho: int,
+    n: int,
+    num_values: float,
+    ledger: Optional[RoundLedger] = None,
+    phase: str = "filtered-matmul",
+) -> Tuple[np.ndarray, float]:
+    """Filtered product plus its Theorem 58 round cost.
+
+    ``num_values`` is the bound ``W`` on distinct semiring values (``O(d)``
+    for distances bounded by ``d``).
+    """
+    product = filtered_product(s, t, rho)
+    rounds = filtered_matmul_rounds(n, density(s), density(t), rho, num_values)
+    if ledger is not None:
+        ledger.charge(rounds, phase)
+    return product, rounds

@@ -1,0 +1,110 @@
+"""The ``(k, d)``-nearest problem (Theorem 10, Appendix B.2).
+
+Each vertex must learn the distances to its ``k`` closest vertices among
+those at distance at most ``d`` (all of them, if fewer).  The paper's
+distance-sensitive insight: because only distances ``<= d`` matter, the
+iterated *filtered* min-plus squaring needs just ``ceil(log2 d)`` steps and
+the value universe has ``W = O(d)`` values, so every log factor is
+``log d`` — ``poly(log t)`` instead of ``poly(log n)`` when ``d = t`` is a
+small threshold.  This is the engine of the whole paper.
+
+Two implementations are provided and cross-validated in tests:
+
+* :func:`kd_nearest_matrix` — the congested-clique algorithm verbatim:
+  ``A_{i+1} = filter_rho(A_i · A_i)`` for ``ceil(log2 d)`` iterations
+  (Claim 59), then masking entries ``> d``.
+
+* :func:`kd_nearest_bfs` — the sequential oracle (per-vertex truncated
+  BFS), used as ground truth and as the fast substrate inside larger
+  pipelines (identical output semantics; see DESIGN.md on fidelity).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..cliquesim.costs import kd_nearest_rounds
+from ..cliquesim.ledger import RoundLedger
+from ..graph.distances import bfs_distances
+from ..graph.graph import Graph
+from ..matmul.filtered import filter_rows, filtered_product
+
+__all__ = ["kd_nearest_matrix", "kd_nearest_bfs", "kd_nearest"]
+
+
+def kd_nearest_matrix(
+    g: Graph,
+    k: int,
+    d: int,
+    ledger: Optional[RoundLedger] = None,
+) -> Tuple[np.ndarray, float]:
+    """Solve ``(k, d)``-nearest by iterated filtered min-plus squaring.
+
+    Returns ``(N, rounds)`` where ``N[v, u]`` is ``d(v, u)`` if ``u`` is one
+    of the ``(k, d)``-nearest of ``v`` (``v`` itself counts, at distance 0)
+    and ``inf`` otherwise.  Rounds follow Theorem 10:
+    ``O((k/n^{2/3} + log d) log d)``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if d < 1:
+        raise ValueError(f"d must be >= 1, got {d}")
+    a = g.adjacency_matrix()
+    cur = filter_rows(a, k)
+    iterations = max(1, math.ceil(math.log2(d))) if d > 1 else 0
+    for _ in range(iterations):
+        cur = filtered_product(cur, cur, k)
+    # Entries may reach up to 2^ceil(log2 d) < 2d; clip to the d-ball and
+    # re-filter (some rows may have had > k entries within 2d but fewer
+    # within d — re-filtering keeps exactly the (k, d)-nearest).
+    cur[cur > d] = np.inf
+    cur = filter_rows(cur, k)
+    rounds = kd_nearest_rounds(g.n, k, d)
+    if ledger is not None:
+        ledger.charge(rounds, "(k,d)-nearest")
+    return cur, rounds
+
+
+def kd_nearest_bfs(
+    g: Graph,
+    k: int,
+    d: int,
+    ledger: Optional[RoundLedger] = None,
+) -> Tuple[np.ndarray, float]:
+    """Sequential oracle for ``(k, d)``-nearest via truncated BFS per vertex.
+
+    Output format and tie-breaking (by vertex id at equal distance) match
+    :func:`kd_nearest_matrix`; the Theorem 10 rounds are still charged so
+    pipelines account identically whichever substrate they use.
+    """
+    out = np.full((g.n, g.n), np.inf)
+    for v in range(g.n):
+        dist = bfs_distances(g, v, max_dist=d)
+        inside = np.flatnonzero(dist <= d)
+        order = np.lexsort((inside, dist[inside]))
+        keep = inside[order[:k]]
+        out[v, keep] = dist[keep]
+    rounds = kd_nearest_rounds(g.n, k, d)
+    if ledger is not None:
+        ledger.charge(rounds, "(k,d)-nearest")
+    return out, rounds
+
+
+def kd_nearest(
+    g: Graph,
+    k: int,
+    d: int,
+    ledger: Optional[RoundLedger] = None,
+    method: str = "bfs",
+) -> Tuple[np.ndarray, float]:
+    """Dispatch between the matrix algorithm (``method="matrix"``, the
+    paper's algorithm verbatim) and the BFS oracle (``method="bfs"``,
+    default inside larger pipelines for speed)."""
+    if method == "matrix":
+        return kd_nearest_matrix(g, k, d, ledger)
+    if method == "bfs":
+        return kd_nearest_bfs(g, k, d, ledger)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.graph import Graph, generators  # noqa: E402
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_er(rng):
+    """A connected sparse Erdős–Rényi graph (n=60)."""
+    return generators.connected_erdos_renyi(60, 3.0, rng)
+
+
+@pytest.fixture
+def small_grid():
+    """An 8x8 grid."""
+    return generators.grid_graph(8, 8)
+
+
+@pytest.fixture
+def small_path():
+    """A 60-vertex path."""
+    return generators.path_graph(60)
+
+
+@pytest.fixture
+def triangle():
+    """K_3."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture(params=["er_sparse", "grid", "path", "tree", "ring_of_cliques"])
+def family_graph(request):
+    """A sweep over the benchmark families at n ~ 80."""
+    return generators.make_family(request.param, 80, seed=7)

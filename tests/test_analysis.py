@@ -1,0 +1,67 @@
+"""Tests for the analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_stretch, format_table
+
+
+class TestEvaluateStretch:
+    def test_exact_estimates(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        rep = evaluate_stretch(exact.copy(), exact)
+        assert rep.sound
+        assert rep.max_ratio == 1.0
+        assert rep.mean_ratio == 1.0
+        assert rep.num_pairs == 2
+
+    def test_detects_undershoot(self):
+        exact = np.array([[0.0, 4.0], [4.0, 0.0]])
+        est = np.array([[0.0, 3.0], [4.0, 0.0]])
+        rep = evaluate_stretch(est, exact)
+        assert not rep.sound
+
+    def test_ratios(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        est = np.array([[0.0, 3.0], [2.0, 0.0]])
+        rep = evaluate_stretch(est, exact)
+        assert rep.max_ratio == pytest.approx(1.5)
+        assert rep.mean_ratio == pytest.approx(1.25)
+
+    def test_residual_ratio_grants_additive(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        est = np.array([[0.0, 5.0], [5.0, 0.0]])
+        rep = evaluate_stretch(est, exact, additive=3.0)
+        assert rep.max_residual_ratio == pytest.approx(1.0)
+        assert rep.max_additive_over_exact == pytest.approx(3.0)
+
+    def test_infinite_pairs_skipped(self):
+        exact = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        rep = evaluate_stretch(exact.copy(), exact)
+        assert rep.num_pairs == 0
+        assert rep.sound
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_stretch(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_str(self):
+        exact = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert "sound=True" in str(evaluate_stretch(exact.copy(), exact))
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+        assert "name" in lines[0]
+
+    def test_floats_rendered(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out

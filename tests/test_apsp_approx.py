@@ -1,0 +1,117 @@
+"""Tests for (2+eps)- and (3+eps)-APSP (Theorem 34, Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apsp import apsp_three_plus_eps, apsp_two_plus_eps
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances
+
+
+class TestThreePlusEps:
+    def test_guarantee(self, family_graph, rng):
+        exact = all_pairs_distances(family_graph)
+        res = apsp_three_plus_eps(family_graph, eps=0.5, r=2, rng=rng)
+        assert res.check_sound(exact)
+        finite = np.isfinite(exact) & (exact > 0)
+        ratio = res.estimates[finite] / exact[finite]
+        assert ratio.max() <= 3.5 + 1e-9
+
+    def test_stats(self, small_er, rng):
+        res = apsp_three_plus_eps(small_er, eps=0.5, r=2, rng=rng)
+        assert res.stats["pivots"] >= 1
+        assert res.stats["k"] >= 1
+
+    def test_invalid_eps(self, small_er, rng):
+        with pytest.raises(ValueError):
+            apsp_three_plus_eps(small_er, eps=1.2, rng=rng)
+
+    def test_diagonal_and_edges(self, small_er, rng):
+        res = apsp_three_plus_eps(small_er, eps=0.5, r=2, rng=rng)
+        assert (np.diag(res.estimates) == 0).all()
+        for u, v in small_er.edges()[:20]:
+            assert res.estimates[u, v] == 1.0
+
+
+class TestTwoPlusEps:
+    def test_guarantee(self, family_graph, rng):
+        exact = all_pairs_distances(family_graph)
+        res = apsp_two_plus_eps(family_graph, eps=0.5, r=2, rng=rng)
+        assert res.check_sound(exact)
+        finite = np.isfinite(exact) & (exact > 0)
+        ratio = res.estimates[finite] / exact[finite]
+        assert ratio.max() <= 2.5 + 1e-9
+
+    def test_high_degree_graph(self, rng):
+        """A star-of-cliques has many vertices above sqrt(n) log n degree,
+        forcing the high-degree (hitting set S) code path."""
+        g = gen.barabasi_albert(120, 6, rng)
+        exact = all_pairs_distances(g)
+        res = apsp_two_plus_eps(g, eps=0.5, r=2, rng=rng)
+        assert res.check_sound(exact)
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (res.estimates[finite] / exact[finite]).max() <= 2.5 + 1e-9
+
+    def test_stats_hitting_sets(self, small_er, rng):
+        res = apsp_two_plus_eps(small_er, eps=0.5, r=2, rng=rng)
+        for key in ("|S|", "|A|", "|A'|", "t", "k", "gp_edges"):
+            assert key in res.stats
+
+    def test_matmul_phases_charged(self, small_er, rng):
+        res = apsp_two_plus_eps(small_er, eps=0.5, r=2, rng=rng)
+        phases = res.ledger.breakdown()
+        assert any("matmul" in p for p in phases)
+        assert any("through" in p for p in phases)
+
+    def test_tighter_than_three_plus_eps_on_average(self, rng):
+        g = gen.connected_erdos_renyi(100, 3.0, rng)
+        exact = all_pairs_distances(g)
+        r2 = apsp_two_plus_eps(g, eps=0.5, r=2, rng=rng)
+        r3 = apsp_three_plus_eps(g, eps=0.5, r=2, rng=rng)
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (r2.estimates[finite] / exact[finite]).mean() <= (
+            r3.estimates[finite] / exact[finite]
+        ).mean() + 1e-9
+
+    def test_invalid_eps(self, small_er, rng):
+        with pytest.raises(ValueError):
+            apsp_two_plus_eps(small_er, eps=0.0, rng=rng)
+
+    def test_deterministic_rng_default(self, small_grid):
+        a = apsp_two_plus_eps(small_grid, eps=0.5, r=2)
+        b = apsp_two_plus_eps(small_grid, eps=0.5, r=2)
+        assert np.array_equal(a.estimates, b.estimates)
+
+
+class TestTwoPlusEpsDeterministic:
+    """Theorem 53: the fully deterministic (2+eps)-APSP."""
+
+    def test_guarantee(self, rng):
+        g = gen.make_family("er_sparse", 100, seed=7)
+        exact = all_pairs_distances(g)
+        res = apsp_two_plus_eps(g, eps=0.5, r=2, deterministic=True)
+        assert res.check_sound(exact)
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (res.estimates[finite] / exact[finite]).max() <= 2.5 + 1e-9
+
+    def test_bit_identical_runs(self, small_grid):
+        a = apsp_two_plus_eps(small_grid, eps=0.5, r=2, deterministic=True)
+        b = apsp_two_plus_eps(small_grid, eps=0.5, r=2, deterministic=True)
+        assert np.array_equal(a.estimates, b.estimates)
+        assert a.name == "(2+eps)-APSP[deterministic]"
+
+    def test_high_degree_graph_deterministic(self, rng):
+        g = gen.barabasi_albert(100, 5, np.random.default_rng(9))
+        exact = all_pairs_distances(g)
+        res = apsp_two_plus_eps(g, eps=0.5, r=2, deterministic=True)
+        assert res.check_sound(exact)
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (res.estimates[finite] / exact[finite]).max() <= 2.5 + 1e-9
+
+    def test_det_charges_hitting_set_rounds(self, rng):
+        """Determinism pays the (log log n)^3 hitting-set charges."""
+        g = gen.barabasi_albert(100, 5, np.random.default_rng(9))
+        res = apsp_two_plus_eps(g, eps=0.5, r=2, deterministic=True)
+        phases = res.ledger.breakdown()
+        assert any("dnf-hitting" in p or "hitting-set" in p for p in phases)
+        assert any("soft-hitting" in p for p in phases)  # det emulator inside

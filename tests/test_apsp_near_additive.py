@@ -1,0 +1,64 @@
+"""Tests for (1+eps, beta)-APSP (Theorem 32)."""
+
+import numpy as np
+import pytest
+
+from repro.apsp import apsp_near_additive
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances
+
+
+class TestNearAdditiveAPSP:
+    @pytest.mark.parametrize("variant", ["ideal", "cc", "whp", "deterministic"])
+    def test_guarantee_all_variants(self, small_er, rng, variant):
+        exact = all_pairs_distances(small_er)
+        res = apsp_near_additive(small_er, eps=0.5, r=2, rng=rng, variant=variant)
+        assert res.check_sound(exact)
+        assert res.check_guarantee(exact)
+
+    def test_families(self, family_graph, rng):
+        exact = all_pairs_distances(family_graph)
+        res = apsp_near_additive(family_graph, eps=0.5, r=2, rng=rng)
+        assert res.check_sound(exact)
+        assert res.check_guarantee(exact)
+
+    def test_diagonal_zero(self, small_er, rng):
+        res = apsp_near_additive(small_er, eps=0.5, r=2, rng=rng)
+        assert (np.diag(res.estimates) == 0).all()
+
+    def test_edges_estimated_at_one(self, small_er, rng):
+        res = apsp_near_additive(small_er, eps=0.5, r=2, rng=rng)
+        for u, v in small_er.edges():
+            assert res.estimates[u, v] == 1.0
+
+    def test_unknown_variant(self, small_er):
+        with pytest.raises(ValueError, match="unknown variant"):
+            apsp_near_additive(small_er, eps=0.5, r=2, variant="bogus")
+
+    def test_rounds_include_learning_phase(self, small_er, rng):
+        res = apsp_near_additive(small_er, eps=0.5, r=2, rng=rng)
+        assert "apsp:learn-emulator" in res.ledger.breakdown()
+
+    def test_default_r(self, small_er, rng):
+        res = apsp_near_additive(small_er, eps=0.5, rng=rng)
+        assert res.stats["r"] >= 2
+
+    def test_long_distance_regime_near_exact(self, rng):
+        """On a long path, pairs at distance >> beta/eps must be within
+        (1 + eps) — the near-exact regime the paper highlights."""
+        g = gen.path_graph(300)
+        exact = all_pairs_distances(g)
+        res = apsp_near_additive(g, eps=0.5, r=2, rng=rng, variant="ideal")
+        beta = res.additive
+        far = exact > 2 * beta
+        if far.any():
+            ratio = res.estimates[far] / exact[far]
+            assert ratio.max() <= 1.5 + 1e-9
+
+    def test_disconnected_pairs_stay_infinite_sound(self, rng):
+        g = gen.path_graph(20)  # connected; also test a disconnected one
+        from repro.graph import Graph
+        g2 = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        exact = all_pairs_distances(g2)
+        res = apsp_near_additive(g2, eps=0.5, r=2, rng=rng)
+        assert res.check_sound(exact)

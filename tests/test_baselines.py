@@ -1,0 +1,99 @@
+"""Tests for the baseline algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apsp import (
+    apsp_squaring,
+    baswana_sen_spanner,
+    chkl_round_model,
+    exact_apsp,
+    spanner_apsp,
+)
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestExactBaselines:
+    def test_exact_apsp_is_exact(self, family_graph):
+        exact = all_pairs_distances(family_graph)
+        res = exact_apsp(family_graph)
+        assert np.array_equal(
+            np.nan_to_num(res.estimates, posinf=-1), np.nan_to_num(exact, posinf=-1)
+        )
+        assert res.multiplicative == 1.0
+
+    def test_squaring_is_exact(self, family_graph):
+        exact = all_pairs_distances(family_graph)
+        res = apsp_squaring(family_graph)
+        assert np.array_equal(
+            np.nan_to_num(res.estimates, posinf=-1), np.nan_to_num(exact, posinf=-1)
+        )
+        assert res.stats["squarings"] >= 1
+
+    def test_squaring_rounds_grow_with_n(self):
+        a = apsp_squaring(gen.path_graph(30)).rounds
+        b = apsp_squaring(gen.path_graph(200)).rounds
+        assert b > a
+
+
+class TestBaswanaSenSpanner:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_stretch_bound(self, rng, k):
+        g = gen.connected_erdos_renyi(100, 4.0, rng)
+        spanner = baswana_sen_spanner(g, k, rng)
+        exact = all_pairs_distances(g)
+        sp_dist = weighted_all_pairs(spanner)
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (sp_dist[finite] >= exact[finite] - 1e-9).all()
+        assert (sp_dist[finite] <= (2 * k - 1) * exact[finite] + 1e-9).all()
+
+    def test_k1_keeps_everything(self, small_er, rng):
+        spanner = baswana_sen_spanner(small_er, 1, rng)
+        assert spanner.m == small_er.m
+
+    def test_size_shrinks_with_k(self, rng):
+        g = gen.connected_erdos_renyi(200, 12.0, rng)
+        s1 = baswana_sen_spanner(g, 1, rng).m
+        s3 = baswana_sen_spanner(g, 3, rng).m
+        assert s3 < s1
+
+    def test_size_bound(self, rng):
+        g = gen.connected_erdos_renyi(200, 15.0, rng)
+        k = 2
+        spanner = baswana_sen_spanner(g, k, rng)
+        bound = 8 * k * g.n ** (1 + 1 / k)
+        assert spanner.m <= bound
+
+    def test_invalid_k(self, small_er, rng):
+        with pytest.raises(ValueError):
+            baswana_sen_spanner(small_er, 0, rng)
+
+
+class TestSpannerAPSP:
+    def test_guarantee(self, rng):
+        g = gen.connected_erdos_renyi(120, 4.0, rng)
+        exact = all_pairs_distances(g)
+        res = spanner_apsp(g, k=3, rng=rng)
+        assert res.check_sound(exact)
+        assert res.check_guarantee(exact)
+
+    def test_default_k_log_n(self, small_er, rng):
+        res = spanner_apsp(small_er, rng=rng)
+        assert res.stats["k"] == math.ceil(math.log2(small_er.n))
+
+    def test_rounds_phases(self, small_er, rng):
+        res = spanner_apsp(small_er, k=2, rng=rng)
+        phases = res.ledger.breakdown()
+        assert "baseline:spanner-construction" in phases
+        assert "baseline:learn-spanner" in phases
+
+
+class TestRoundModels:
+    def test_chkl_formula(self):
+        assert chkl_round_model(2**10, 1.0) == pytest.approx(100.0)
+
+    def test_chkl_monotone_in_n(self):
+        assert chkl_round_model(10**6, 0.5) > chkl_round_model(10**3, 0.5)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["apsp"])
+        assert args.algo == "2eps"
+        assert args.family == "er_sparse"
+
+    def test_bad_family_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["apsp", "--family", "nope"])
+
+
+class TestMain:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "er_sparse" in out and "grid" in out
+
+    def test_emulator(self, capsys):
+        assert main(["emulator", "--n", "60", "--family", "path"]) == 0
+        out = capsys.readouterr().out
+        assert "emulator:" in out
+        assert "total rounds" in out
+
+    def test_emulator_deterministic(self, capsys):
+        assert main(
+            ["emulator", "--n", "60", "--family", "grid", "--deterministic"]
+        ) == 0
+        assert "emulator:" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("algo", ["near-additive", "3eps", "exact", "spanner"])
+    def test_apsp_algos(self, capsys, algo):
+        assert main(["apsp", "--algo", algo, "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "sound" in out
+        assert "True" in out
+
+    def test_apsp_2eps(self, capsys):
+        assert main(["apsp", "--algo", "2eps", "--n", "60"]) == 0
+        assert "(2+eps)" in capsys.readouterr().out
+
+    def test_mssp(self, capsys):
+        assert main(["mssp", "--n", "70", "--num-sources", "5"]) == 0
+        assert "MSSP" in capsys.readouterr().out
+
+    def test_weighted_apsp(self, capsys):
+        assert main(["apsp", "--n", "40", "--max-weight", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "weights: random integers in [1, 3]" in out
+        assert "True" in out
+
+    def test_weighted_mssp(self, capsys):
+        assert main(
+            ["mssp", "--n", "40", "--num-sources", "3", "--max-weight", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "weighted" in out

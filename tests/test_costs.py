@@ -1,0 +1,100 @@
+"""Unit tests for the closed-form round costs (repro.cliquesim.costs)."""
+
+import pytest
+
+from repro.cliquesim import costs
+
+
+class TestLogHelpers:
+    def test_log2_clamped(self):
+        assert costs.log2(1) == 1.0
+        assert costs.log2(0.5) == 1.0
+
+    def test_log2_normal(self):
+        assert costs.log2(8) == 3.0
+
+    def test_loglog(self):
+        assert costs.loglog(2 ** 16) == 4.0
+        assert costs.loglog(2) == 1.0
+
+
+class TestPrimitiveCosts:
+    def test_lenzen_constant(self):
+        assert costs.lenzen_route_rounds() == 2.0
+
+    def test_learn_subgraph_scaling(self):
+        assert costs.learn_subgraph_rounds(0, 100) == 1.0
+        assert costs.learn_subgraph_rounds(1000, 100) == 20.0
+        # Linear in E for fixed n:
+        assert costs.learn_subgraph_rounds(2000, 100) == 40.0
+
+    def test_kd_nearest_loglog_not_log(self):
+        """The distance-sensitive claim: rounds grow with log d, not log n."""
+        n = 10**6
+        small_d = costs.kd_nearest_rounds(n, k=100, d=4)
+        big_d = costs.kd_nearest_rounds(n, k=100, d=4096)
+        assert big_d > small_d
+        # Quadratic in log d when k is negligible: log^2(4096)/log^2(4) = 36.
+        assert big_d / small_d == pytest.approx(36.0, rel=0.01)
+
+    def test_kd_nearest_k_term(self):
+        n = 1000
+        low = costs.kd_nearest_rounds(n, k=1, d=16)
+        high = costs.kd_nearest_rounds(n, k=n, d=16)
+        assert high > low
+
+    def test_source_detection_linear_in_d(self):
+        a = costs.source_detection_rounds(1000, 5000, 30, 10)
+        b = costs.source_detection_rounds(1000, 5000, 30, 20)
+        assert b == pytest.approx(2 * a)
+
+    def test_source_detection_small_load_is_d(self):
+        # m^{1/3}|S|^{2/3}/n << 1 for sqrt(n) sources on sparse graphs.
+        r = costs.source_detection_rounds(10**6, 10**6, 1000, 7)
+        assert r == pytest.approx(7.0, rel=0.2)
+
+    def test_hopset_rounds_poly_log_t(self):
+        a = costs.bounded_hopset_rounds(10**6, t=16, eps=0.5)
+        b = costs.bounded_hopset_rounds(10**6, t=256, eps=0.5)
+        assert b / a == pytest.approx(4.0, rel=0.01)  # (8/4)^2
+
+    def test_hopset_deterministic_overhead(self):
+        n = 10**6
+        rand = costs.bounded_hopset_rounds(n, 16, 0.5)
+        det = costs.bounded_hopset_rounds(n, 16, 0.5, deterministic=True)
+        assert det == pytest.approx(rand + costs.det_hitting_set_rounds(n))
+
+    def test_through_sets_constant_for_small_rho(self):
+        assert costs.distance_through_sets_rounds(10**6, 100) == pytest.approx(
+            1.0, abs=0.3
+        )
+
+    def test_sparse_matmul_constant_when_sqrt_dense(self):
+        n = 10**6
+        rho = n**0.5
+        assert costs.sparse_matmul_rounds(n, rho, rho) == pytest.approx(2.0, abs=0.1)
+
+    def test_filtered_matmul_log_w_dominates(self):
+        n = 10**6
+        r = costs.filtered_matmul_rounds(n, 10, 10, 10, num_values=1024)
+        assert r == pytest.approx(10.0, abs=0.2)
+
+    def test_det_hitting_set_loglog_cubed(self):
+        assert costs.det_hitting_set_rounds(2**16) == 64.0
+
+
+class TestBaselineModels:
+    def test_squaring_grows_polynomially(self):
+        assert costs.matrix_squaring_apsp_rounds(10**6) > 100
+
+    def test_chkl_log_squared(self):
+        a = costs.chkl_apsp_2eps_rounds(2**10, 1.0)
+        assert a == pytest.approx(100.0)
+
+    def test_exponential_separation(self):
+        """The headline: poly(log log n) vs poly(log n) — at large n our
+        cost model must be far below the PODC 19 baseline."""
+        n = 2**64
+        ours = costs.det_hitting_set_rounds(n)  # (log log n)^3 = 216
+        baseline = costs.chkl_apsp_2eps_rounds(n, 1.0)  # (log n)^2 = 4096
+        assert ours * 10 < baseline

@@ -1,0 +1,73 @@
+"""Cross-variant consistency checks between the emulator constructions."""
+
+import numpy as np
+import pytest
+
+from repro.derand import build_emulator_deterministic
+from repro.emulator import (
+    build_emulator,
+    build_emulator_cc,
+    build_emulator_whp,
+    build_warmup_emulator,
+    sample_hierarchy,
+)
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestVariantConsistency:
+    def test_all_variants_sound_same_graph(self, rng):
+        g = gen.make_family("er_sparse", 90, seed=19)
+        exact = all_pairs_distances(g)
+        finite = np.isfinite(exact)
+        builders = [
+            ("ideal", lambda: build_emulator(g, eps=0.5, r=2, rng=rng)),
+            ("cc", lambda: build_emulator_cc(g, eps=0.5, r=2, rng=rng)),
+            ("whp", lambda: build_emulator_whp(g, eps=0.5, r=2, rng=rng)),
+            ("det", lambda: build_emulator_deterministic(g, eps=0.5, r=2)),
+        ]
+        for name, build in builders:
+            res = build()
+            emu = weighted_all_pairs(res.emulator)
+            assert (emu[finite] >= exact[finite] - 1e-9).all(), name
+
+    def test_ideal_weights_never_above_cc(self, rng):
+        """On shared edges, the ideal build's exact weights lower-bound the
+        CC build's (approximate) weights."""
+        g = gen.make_family("grid", 64, seed=21)
+        h = sample_hierarchy(g.n, 2, rng)
+        ideal = build_emulator(g, eps=0.5, r=2, hierarchy=h)
+        cc = build_emulator_cc(g, eps=0.5, r=2, hierarchy=h, rng=rng)
+        for u, v, w_cc in cc.emulator.edges():
+            w_ideal = ideal.emulator.weight(u, v)
+            if np.isfinite(w_ideal):
+                assert w_cc >= w_ideal - 1e-9
+
+    def test_whp_uses_one_of_its_draws(self, rng):
+        g = gen.make_family("er_sparse", 70, seed=23)
+        res = build_emulator_whp(g, eps=0.5, r=2, rng=rng, num_draws=4)
+        chosen = res.stats["chosen_draw"]
+        evals = res.stats["draw_evaluations"]
+        assert evals[chosen] is not None
+        # The final emulator's hierarchy matches one of the draws' sizes.
+        assert res.stats["set_sizes"][0] == g.n
+
+    def test_warmup_s1_size_scales(self):
+        """E[|S_1|] = n^{3/4}: statistical check across seeds."""
+        n = 600
+        sizes = []
+        for seed in range(12):
+            g = gen.path_graph(n)
+            w = build_warmup_emulator(g, eps=0.3, rng=np.random.default_rng(seed))
+            sizes.append(len(w.s1))
+        expected = n ** 0.75
+        assert 0.6 * expected <= np.mean(sizes) <= 1.5 * expected
+
+    def test_det_hierarchy_independent_of_rng_state(self):
+        """The deterministic emulator must not consume global randomness."""
+        g = gen.make_family("er_sparse", 70, seed=29)
+        np.random.seed(1)
+        a = build_emulator_deterministic(g, eps=0.5, r=2)
+        np.random.seed(999)
+        b = build_emulator_deterministic(g, eps=0.5, r=2)
+        assert sorted(a.emulator.edges()) == sorted(b.emulator.edges())

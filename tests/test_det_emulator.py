@@ -1,0 +1,86 @@
+"""Tests for the deterministic emulator (Section 5.1, Theorem 50)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cliquesim import RoundLedger
+from repro.derand import build_deterministic_hierarchy, build_emulator_deterministic
+from repro.emulator import EmulatorParams, cc_stretch_bound
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestDeterministicHierarchy:
+    def test_nesting(self, small_er):
+        params = EmulatorParams.from_target_eps(0.5, 2)
+        h = build_deterministic_hierarchy(small_er, params)
+        for i in range(1, 3):
+            assert not (h.masks[i] & ~h.masks[i - 1]).any()
+
+    def test_size_decay(self, rng):
+        """Claim 45 shape: |S_i| decays with i (soft hitting sets shrink
+        each level by roughly p_{i+1})."""
+        g = gen.connected_erdos_renyi(250, 3.0, rng)
+        params = EmulatorParams.from_target_eps(0.5, 2)
+        h = build_deterministic_hierarchy(g, params)
+        sizes = h.sizes()
+        assert sizes[0] == g.n
+        assert sizes[1] <= g.n
+        assert sizes[2] <= max(sizes[1], 1)
+
+    def test_sr_within_sqrt_bound(self, rng):
+        g = gen.connected_erdos_renyi(250, 3.0, rng)
+        params = EmulatorParams.from_target_eps(0.5, 2)
+        h = build_deterministic_hierarchy(g, params)
+        # |S_r| <= |S'_r| + |A| = O(sqrt n) + O(n^{1/3} log n).
+        bound = 4 * math.sqrt(g.n) + 4 * g.n ** (1 / 3) * math.log2(g.n)
+        assert h.sizes()[2] <= bound
+
+    def test_reproducible(self, small_er):
+        params = EmulatorParams.from_target_eps(0.5, 2)
+        h1 = build_deterministic_hierarchy(small_er, params)
+        h2 = build_deterministic_hierarchy(small_er, params)
+        assert np.array_equal(h1.masks, h2.masks)
+
+
+class TestDeterministicEmulator:
+    def test_soundness_and_stretch(self, family_graph):
+        exact = all_pairs_distances(family_graph)
+        res = build_emulator_deterministic(family_graph, eps=0.5, r=2)
+        emu = weighted_all_pairs(res.emulator)
+        finite = np.isfinite(exact)
+        assert (emu[finite] >= exact[finite] - 1e-9).all()
+        bound = cc_stretch_bound(res.params, exact)
+        assert (emu[finite] <= bound[finite] + 1e-9).all()
+
+    def test_fully_reproducible(self, small_er):
+        a = build_emulator_deterministic(small_er, eps=0.5, r=2)
+        b = build_emulator_deterministic(small_er, eps=0.5, r=2)
+        assert sorted(a.emulator.edges()) == sorted(b.emulator.edges())
+
+    def test_size_comparable_to_randomized(self, rng):
+        """Theorem 50: same O(r n^{1+1/2^r}) size bound as randomized."""
+        g = gen.connected_erdos_renyi(200, 3.0, rng)
+        res = build_emulator_deterministic(g, eps=0.5, r=2)
+        assert res.num_edges <= 6 * res.params.expected_edge_bound(g.n)
+
+    def test_stats_flag(self, small_er):
+        res = build_emulator_deterministic(small_er, eps=0.5, r=2)
+        assert res.stats["deterministic"] is True
+
+    def test_rounds_include_soft_hitting(self, small_er):
+        ledger = RoundLedger()
+        build_emulator_deterministic(small_er, eps=0.5, r=2, ledger=ledger)
+        phases = ledger.breakdown()
+        assert any("soft-hitting" in p or "hitting-set" in p for p in phases)
+
+    def test_dense_graph(self, rng):
+        g = gen.ring_of_cliques(5, 12)
+        exact = all_pairs_distances(g)
+        res = build_emulator_deterministic(g, eps=0.5, r=2)
+        emu = weighted_all_pairs(res.emulator)
+        finite = np.isfinite(exact)
+        assert (emu[finite] >= exact[finite] - 1e-9).all()
+        assert (emu[finite] <= cc_stretch_bound(res.params, exact)[finite] + 1e-9).all()

@@ -1,0 +1,266 @@
+"""Unit and property tests for repro.graph.distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import Graph, WeightedGraph, generators as gen
+from repro.graph.distances import (
+    all_pairs_distances,
+    ball,
+    bfs_distances,
+    diameter,
+    dijkstra,
+    eccentricity,
+    hop_limited_bellman_ford,
+    k_nearest_within,
+    multi_source_bfs,
+    weighted_all_pairs,
+)
+
+
+def random_graph(n: int, edge_bits: list) -> Graph:
+    """Deterministic graph from a hypothesis-drawn bit list."""
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = [p for p, b in zip(pairs, edge_bits) if b]
+    return Graph(n, edges)
+
+
+class TestBFS:
+    def test_path_distances(self, small_path):
+        d = bfs_distances(small_path, 0)
+        assert d.tolist() == list(range(small_path.n))
+
+    def test_truncation(self, small_path):
+        d = bfs_distances(small_path, 0, max_dist=5)
+        assert d[5] == 5
+        assert np.isinf(d[6])
+
+    def test_unreachable(self):
+        g = Graph(4, [(0, 1)])
+        d = bfs_distances(g, 0)
+        assert np.isinf(d[2]) and np.isinf(d[3])
+
+    def test_source_zero(self, small_er):
+        assert bfs_distances(small_er, 7)[7] == 0
+
+    def test_matches_scipy(self, family_graph):
+        exact = all_pairs_distances(family_graph)
+        for s in range(0, family_graph.n, 13):
+            d = bfs_distances(family_graph, s)
+            assert np.array_equal(
+                np.nan_to_num(d, posinf=-1), np.nan_to_num(exact[s], posinf=-1)
+            )
+
+
+class TestMultiSourceBFS:
+    def test_empty_sources(self, small_path):
+        d = multi_source_bfs(small_path, [])
+        assert np.isinf(d).all()
+
+    def test_min_over_sources(self, small_path):
+        d = multi_source_bfs(small_path, [0, 59])
+        expected = np.minimum(
+            bfs_distances(small_path, 0), bfs_distances(small_path, 59)
+        )
+        assert np.array_equal(d, expected)
+
+    def test_duplicate_sources(self, small_path):
+        d1 = multi_source_bfs(small_path, [3, 3, 3])
+        d2 = bfs_distances(small_path, 3)
+        assert np.array_equal(d1, d2)
+
+
+class TestBall:
+    def test_ball_contains_center(self, small_er):
+        verts, dists = ball(small_er, 5, 2)
+        assert verts[0] == 5
+        assert dists[0] == 0
+
+    def test_ball_sorted_by_distance(self, small_er):
+        _, dists = ball(small_er, 0, 3)
+        assert (np.diff(dists) >= 0).all()
+
+    def test_ball_radius_zero(self, small_er):
+        verts, _ = ball(small_er, 4, 0)
+        assert verts.tolist() == [4]
+
+    def test_ball_radius_respected(self, small_path):
+        verts, dists = ball(small_path, 10, 3)
+        assert set(verts.tolist()) == set(range(7, 14))
+        assert dists.max() <= 3
+
+
+class TestKNearestWithin:
+    def test_prefix_of_ball(self, small_er):
+        verts, dists = k_nearest_within(small_er, 0, 5, 3)
+        assert len(verts) <= 5
+        assert (dists <= 3).all()
+
+    def test_includes_self(self, small_er):
+        verts, _ = k_nearest_within(small_er, 9, 3, 2)
+        assert verts[0] == 9
+
+    def test_fewer_than_k(self, small_path):
+        verts, _ = k_nearest_within(small_path, 0, 50, 2)
+        assert len(verts) == 3  # 0, 1, 2
+
+
+class TestAllPairs:
+    def test_methods_agree(self, family_graph):
+        a = all_pairs_distances(family_graph, method="scipy")
+        b = all_pairs_distances(family_graph, method="bfs")
+        assert np.array_equal(np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1))
+
+    def test_unknown_method(self, triangle):
+        with pytest.raises(ValueError):
+            all_pairs_distances(triangle, method="magic")
+
+    def test_empty_graph(self):
+        d = all_pairs_distances(Graph(0, []))
+        assert d.shape == (0, 0)
+
+    def test_symmetric(self, small_er):
+        d = all_pairs_distances(small_er)
+        assert np.array_equal(d, d.T)
+
+    def test_triangle_inequality(self, small_er):
+        d = all_pairs_distances(small_er)
+        n = small_er.n
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            i, j, k = rng.integers(0, n, 3)
+            assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+class TestHopLimitedBellmanFord:
+    def test_unweighted_matches_truncated_bfs(self, small_er):
+        wg = small_er.to_weighted()
+        sources = [0, 5, 10]
+        for hops in (1, 2, 3):
+            bf = hop_limited_bellman_ford(wg, sources, hops)
+            for i, s in enumerate(sources):
+                bfs = bfs_distances(small_er, s, max_dist=hops)
+                assert np.array_equal(
+                    np.nan_to_num(bf[i], posinf=-1), np.nan_to_num(bfs, posinf=-1)
+                )
+
+    def test_converges_to_dijkstra(self):
+        wg = WeightedGraph(5)
+        wg.add_edges_from([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (0, 4, 10.0), (4, 3, 1.0)])
+        bf = hop_limited_bellman_ford(wg, [0], 10)
+        dj = dijkstra(wg, 0)
+        assert np.allclose(bf[0], dj)
+
+    def test_hop_bound_binds(self):
+        # 0 -1- 1 -1- 2 and a direct heavy edge 0-2.
+        wg = WeightedGraph(3)
+        wg.add_edges_from([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        bf1 = hop_limited_bellman_ford(wg, [0], 1)
+        assert bf1[0, 2] == 5.0
+        bf2 = hop_limited_bellman_ford(wg, [0], 2)
+        assert bf2[0, 2] == 2.0
+
+    def test_zero_hops(self):
+        wg = WeightedGraph(3)
+        wg.add_edge(0, 1, 1.0)
+        bf = hop_limited_bellman_ford(wg, [0], 0)
+        assert bf[0, 0] == 0
+        assert np.isinf(bf[0, 1])
+
+    def test_no_edges(self):
+        wg = WeightedGraph(3)
+        bf = hop_limited_bellman_ford(wg, [1], 5)
+        assert bf[0, 1] == 0
+        assert np.isinf(bf[0, 0])
+
+    def test_monotone_in_hops(self, small_grid):
+        wg = small_grid.to_weighted()
+        b2 = hop_limited_bellman_ford(wg, [0], 2)
+        b4 = hop_limited_bellman_ford(wg, [0], 4)
+        assert (b4 <= b2 + 1e-12).all()
+
+
+class TestDijkstraAndWeightedAllPairs:
+    def test_dijkstra_truncation(self):
+        wg = WeightedGraph(4)
+        wg.add_edges_from([(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)])
+        d = dijkstra(wg, 0, max_dist=3.0)
+        assert d[1] == 2.0
+        assert np.isinf(d[2])
+
+    def test_weighted_all_pairs_matches_dijkstra(self, small_er, rng):
+        wg = WeightedGraph(small_er.n)
+        for u, v in small_er.edges():
+            wg.add_edge(int(u), int(v), float(rng.integers(1, 5)))
+        full = weighted_all_pairs(wg)
+        for s in (0, 3, 17):
+            assert np.allclose(full[s], dijkstra(wg, s))
+
+    def test_weighted_all_pairs_sources_subset(self, small_er):
+        wg = small_er.to_weighted()
+        sub = weighted_all_pairs(wg, sources=[2, 4])
+        full = weighted_all_pairs(wg)
+        assert np.allclose(sub, full[[2, 4]])
+
+    def test_empty_sources(self, small_er):
+        wg = small_er.to_weighted()
+        out = weighted_all_pairs(wg, sources=[])
+        assert out.shape == (0, small_er.n)
+
+
+class TestEccentricityDiameter:
+    def test_path_diameter(self, small_path):
+        assert diameter(small_path) == small_path.n - 1
+
+    def test_path_eccentricity(self, small_path):
+        assert eccentricity(small_path, 0) == small_path.n - 1
+        mid = small_path.n // 2
+        assert eccentricity(small_path, mid) == max(mid, small_path.n - 1 - mid)
+
+    def test_disconnected_diameter_over_reachable(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert diameter(g) == 1
+
+    def test_empty(self):
+        assert diameter(Graph(0, [])) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    data=st.data(),
+)
+def test_property_bfs_triangle_inequality(n, data):
+    """BFS distances satisfy symmetry and triangle inequality on random
+    graphs (the metric axioms of shortest-path distance)."""
+    num_pairs = n * (n - 1) // 2
+    bits = data.draw(st.lists(st.booleans(), min_size=num_pairs, max_size=num_pairs))
+    g = random_graph(n, bits)
+    d = all_pairs_distances(g, method="bfs")
+    assert np.array_equal(d, d.T)
+    for i in range(n):
+        assert d[i, i] == 0
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                assert d[i, j] <= d[i, k] + d[k, j] + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    hops=st.integers(min_value=0, max_value=6),
+    data=st.data(),
+)
+def test_property_hop_limited_bf_equals_truncated_bfs(n, hops, data):
+    """On unit weights, h-hop Bellman-Ford == BFS truncated at depth h."""
+    num_pairs = n * (n - 1) // 2
+    bits = data.draw(st.lists(st.booleans(), min_size=num_pairs, max_size=num_pairs))
+    g = random_graph(n, bits)
+    wg = g.to_weighted()
+    bf = hop_limited_bellman_ford(wg, [0], hops)
+    bfs = bfs_distances(g, 0, max_dist=hops)
+    assert np.array_equal(
+        np.nan_to_num(bf[0], posinf=-1), np.nan_to_num(bfs, posinf=-1)
+    )

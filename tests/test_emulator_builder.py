@@ -1,0 +1,121 @@
+"""Tests for the ideal Section 3.2 emulator."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    EmulatorParams,
+    Hierarchy,
+    build_emulator,
+    edges_for_vertex,
+    sample_hierarchy,
+)
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestEdgesForVertex:
+    def _hierarchy(self, n, s1, s2=()):
+        masks = np.zeros((3, n), dtype=bool)
+        masks[0] = True
+        masks[1, list(s1)] = True
+        masks[2, list(s2)] = True
+        return Hierarchy.from_masks(masks)
+
+    def test_dense_vertex_one_edge_to_closest(self):
+        h = self._hierarchy(6, s1=[3, 5])
+        ball_v = np.array([0, 2, 3, 5])
+        ball_d = np.array([0.0, 1.0, 2.0, 3.0])
+        dense, edges = edges_for_vertex(0, ball_v, ball_d, h)
+        assert dense
+        assert edges == [(3, 2.0)]
+
+    def test_dense_tie_broken_by_id(self):
+        h = self._hierarchy(6, s1=[2, 4])
+        ball_v = np.array([0, 2, 4])
+        ball_d = np.array([0.0, 2.0, 2.0])
+        _, edges = edges_for_vertex(0, ball_v, ball_d, h)
+        assert edges == [(2, 2.0)]
+
+    def test_sparse_vertex_connects_to_level_peers(self):
+        h = self._hierarchy(6, s1=[0, 2, 3], s2=[])
+        ball_v = np.array([0, 1, 2, 3])
+        ball_d = np.array([0.0, 1.0, 1.0, 2.0])
+        dense, edges = edges_for_vertex(1, ball_v[h.masks[1][ball_v] | (ball_v == 1)],
+                                        ball_d[h.masks[1][ball_v] | (ball_v == 1)], h)
+        # Level-1 vertex 0 with no S_2 in ball: edges to all S_1 members.
+        dense0, edges0 = edges_for_vertex(1, ball_v, ball_d, h)
+        assert not dense0
+        assert (2, 1.0) in edges0 and (3, 2.0) in edges0
+
+    def test_skips_self(self):
+        h = self._hierarchy(4, s1=[])
+        ball_v = np.array([1, 0, 2])
+        ball_d = np.array([0.0, 1.0, 1.0])
+        _, edges = edges_for_vertex(0, ball_v, ball_d, h)
+        assert all(u != 1 for u, _ in edges)
+        assert len(edges) == 2
+
+
+class TestBuildEmulator:
+    def test_soundness_and_stretch(self, family_graph, rng):
+        exact = all_pairs_distances(family_graph)
+        res = build_emulator(family_graph, eps=0.5, r=2, rng=rng)
+        emu_dist = weighted_all_pairs(res.emulator)
+        finite = np.isfinite(exact)
+        assert (emu_dist[finite] >= exact[finite] - 1e-9).all()
+        bound = res.params.multiplicative * exact + res.params.beta
+        assert (emu_dist[finite] <= bound[finite] + 1e-9).all()
+
+    def test_edge_weights_are_exact_distances(self, small_er, rng):
+        exact = all_pairs_distances(small_er)
+        res = build_emulator(small_er, eps=0.5, r=2, rng=rng)
+        for u, v, w in res.emulator.edges():
+            assert w == pytest.approx(exact[u, v])
+
+    def test_size_bound_with_constant(self, rng):
+        g = gen.connected_erdos_renyi(300, 3.0, rng)
+        res = build_emulator(g, eps=0.5, r=2, rng=rng)
+        # O(r n^{1+1/4}) with a generous constant 4.
+        assert res.num_edges <= 4 * res.params.expected_edge_bound(g.n)
+
+    def test_stats_accounting(self, small_er, rng):
+        res = build_emulator(small_er, eps=0.5, r=2, rng=rng)
+        stats = res.stats
+        assert sum(stats["dense_counts"]) + sum(stats["sparse_counts"]) == small_er.n
+        assert len(stats["per_level_edges"]) == 3
+        assert stats["set_sizes"][0] == small_er.n
+
+    def test_given_hierarchy_respected(self, small_er, rng):
+        h = sample_hierarchy(small_er.n, 2, rng)
+        res = build_emulator(small_er, eps=0.5, r=2, hierarchy=h)
+        assert res.hierarchy is h
+
+    def test_hierarchy_r_mismatch(self, small_er, rng):
+        h = sample_hierarchy(small_er.n, 3, rng)
+        with pytest.raises(ValueError, match="r="):
+            build_emulator(small_er, eps=0.5, r=2, hierarchy=h)
+
+    def test_no_rescale_uses_raw_eps(self, small_er, rng):
+        res = build_emulator(small_er, eps=0.3, r=2, rng=rng, rescale=False)
+        assert res.params.eps == 0.3
+
+    def test_deterministic_with_seed(self, small_er):
+        a = build_emulator(small_er, eps=0.5, r=2, rng=np.random.default_rng(5))
+        b = build_emulator(small_er, eps=0.5, r=2, rng=np.random.default_rng(5))
+        assert sorted(a.emulator.edges()) == sorted(b.emulator.edges())
+
+    def test_r3_levels(self, rng):
+        g = gen.connected_erdos_renyi(120, 3.0, rng)
+        exact = all_pairs_distances(g)
+        res = build_emulator(g, eps=0.5, r=3, rng=rng)
+        emu_dist = weighted_all_pairs(res.emulator)
+        finite = np.isfinite(exact)
+        assert (emu_dist[finite] >= exact[finite] - 1e-9).all()
+        bound = res.params.multiplicative * exact + res.params.beta
+        assert (emu_dist[finite] <= bound[finite] + 1e-9).all()
+
+    def test_connected_input_gives_connected_emulator(self, small_grid, rng):
+        res = build_emulator(small_grid, eps=0.5, r=2, rng=rng)
+        emu_dist = weighted_all_pairs(res.emulator)
+        assert np.isfinite(emu_dist).all()

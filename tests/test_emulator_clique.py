@@ -1,0 +1,88 @@
+"""Tests for the Section 3.5 Congested Clique emulator build."""
+
+import numpy as np
+import pytest
+
+from repro.cliquesim import RoundLedger
+from repro.emulator import build_emulator_cc, cc_stretch_bound, sample_hierarchy
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestCliqueBuild:
+    def test_soundness_and_cc_stretch(self, family_graph, rng):
+        exact = all_pairs_distances(family_graph)
+        res = build_emulator_cc(family_graph, eps=0.5, r=2, rng=rng)
+        emu = weighted_all_pairs(res.emulator)
+        finite = np.isfinite(exact)
+        assert (emu[finite] >= exact[finite] - 1e-9).all()
+        bound = cc_stretch_bound(res.params, exact)
+        assert (emu[finite] <= bound[finite] + 1e-9).all()
+
+    def test_heavy_light_partition(self, rng):
+        g = gen.connected_erdos_renyi(100, 3.0, rng)
+        res = build_emulator_cc(g, eps=0.5, r=2, rng=rng)
+        non_sr = g.n - res.stats["set_sizes"][2]
+        assert res.stats["heavy_count"] + res.stats["light_count"] == non_sr
+
+    def test_ring_of_cliques_has_heavy_vertices(self, rng):
+        # Dense local balls: with delta_r large, balls exceed n^{2/3}.
+        g = gen.ring_of_cliques(4, 25)
+        res = build_emulator_cc(g, eps=0.5, r=2, rng=rng)
+        assert res.stats["heavy_count"] > 0
+
+    def test_rounds_charged_per_phase(self, small_er, rng):
+        ledger = RoundLedger()
+        build_emulator_cc(small_er, eps=0.5, r=2, rng=rng, ledger=ledger)
+        phases = ledger.breakdown()
+        assert "emulator:announce-levels" in phases
+        assert "(k,d)-nearest" in phases
+        assert any("hopset" in p for p in phases)
+
+    def test_light_vertices_match_ideal_rule(self, rng):
+        """On a sparse graph where every ball is light, the non-S_r edges
+        must equal the ideal builder's edges for the same hierarchy."""
+        from repro.emulator import build_emulator
+
+        g = gen.path_graph(70)
+        h = sample_hierarchy(g.n, 2, rng)
+        # Unrescaled eps keeps delta_1 small (= 4), so every ball is light.
+        ideal = build_emulator(g, eps=0.5, r=2, hierarchy=h, rescale=False)
+        cc = build_emulator_cc(g, eps=0.5, r=2, hierarchy=h, rng=rng, rescale=False)
+        assert cc.stats["heavy_count"] == 0
+        sr = set(h.set_members(2).tolist())
+        ideal_edges = {
+            (u, v) for u, v, _ in ideal.emulator.edges()
+            if not (u in sr and v in sr)
+        }
+        cc_edges = {
+            (u, v) for u, v, _ in cc.emulator.edges()
+            if not (u in sr and v in sr)
+        }
+        assert ideal_edges == cc_edges
+
+    def test_sr_edges_are_approximate(self, rng):
+        """S_r x S_r weights may exceed the true distance by (1 + eps')."""
+        g = gen.connected_erdos_renyi(90, 3.0, rng)
+        res = build_emulator_cc(g, eps=0.5, r=2, rng=rng)
+        exact = all_pairs_distances(g)
+        eps_prime = res.stats["eps_prime"]
+        sr = set(res.hierarchy.set_members(2).tolist())
+        for u, v, w in res.emulator.edges():
+            assert w >= exact[u, v] - 1e-9
+            if u in sr and v in sr:
+                assert w <= (1 + eps_prime) * exact[u, v] + 1e-9
+
+    def test_eps_prime_formula(self, small_er, rng):
+        res = build_emulator_cc(small_er, eps=0.5, r=2, rng=rng)
+        expected = min(0.9, 20.0 * res.params.eps * 1)
+        assert res.stats["eps_prime"] == pytest.approx(expected)
+
+    def test_r3(self, rng):
+        g = gen.connected_erdos_renyi(100, 3.0, rng)
+        exact = all_pairs_distances(g)
+        res = build_emulator_cc(g, eps=0.5, r=3, rng=rng)
+        emu = weighted_all_pairs(res.emulator)
+        finite = np.isfinite(exact)
+        assert (emu[finite] >= exact[finite] - 1e-9).all()
+        assert (emu[finite] <= cc_stretch_bound(res.params, exact)[finite] + 1e-9).all()

@@ -1,0 +1,59 @@
+"""Tests for the Section 3.1 warm-up emulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.emulator import build_warmup_emulator
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestWarmupEmulator:
+    def test_soundness(self, family_graph, rng):
+        exact = all_pairs_distances(family_graph)
+        w = build_warmup_emulator(family_graph, eps=0.25, rng=rng)
+        emu = weighted_all_pairs(w.emulator)
+        finite = np.isfinite(exact)
+        assert (emu[finite] >= exact[finite] - 1e-9).all()
+
+    def test_stretch_bound(self, rng):
+        g = gen.connected_erdos_renyi(200, 3.0, rng)
+        exact = all_pairs_distances(g)
+        eps = 0.25
+        w = build_warmup_emulator(g, eps=eps, rng=rng)
+        emu = weighted_all_pairs(w.emulator)
+        finite = np.isfinite(exact)
+        # The analysis gives (1 + 4 eps) d + additive; use the reported
+        # additive bound.
+        bound = (1 + 4 * eps) * exact + w.additive_bound()
+        assert (emu[finite] <= bound[finite] + 1e-9).all()
+
+    def test_size_bound(self, rng):
+        g = gen.connected_erdos_renyi(300, 4.0, rng)
+        w = build_warmup_emulator(g, eps=0.25, rng=rng)
+        n = g.n
+        bound = 6 * n ** 1.25 * math.log2(n)
+        assert w.num_edges <= bound
+
+    def test_s2_subset_of_s1(self, small_er, rng):
+        w = build_warmup_emulator(small_er, eps=0.3, rng=rng)
+        assert set(w.s2.tolist()) <= set(w.s1.tolist())
+
+    def test_invalid_eps(self, small_er, rng):
+        with pytest.raises(ValueError):
+            build_warmup_emulator(small_er, eps=0.0, rng=rng)
+
+    def test_stats_present(self, small_er, rng):
+        w = build_warmup_emulator(small_er, eps=0.3, rng=rng)
+        assert "patched_high_degree" in w.stats
+        assert "patched_s1_ball" in w.stats
+
+    def test_star_graph_high_degree_handling(self, rng):
+        """The hub has degree n-1 >> n^{1/4} log n: rule 1's high-degree
+        branch (or its patch) must keep the graph connected."""
+        g = gen.star_graph(100)
+        w = build_warmup_emulator(g, eps=0.25, rng=rng)
+        emu = weighted_all_pairs(w.emulator)
+        assert np.isfinite(emu).all()

@@ -1,0 +1,89 @@
+"""Tests for hitting sets (Lemma 8 / Lemma 9)."""
+
+import numpy as np
+import pytest
+
+from repro.cliquesim import RoundLedger
+from repro.toolkit import (
+    deterministic_hitting_set,
+    hits_all,
+    random_hitting_set,
+    unhit_sets,
+)
+
+
+def random_instance(rng, n=200, num_sets=100, k=25):
+    return [rng.choice(n, size=k, replace=False) for _ in range(num_sets)]
+
+
+class TestRandomHittingSet:
+    def test_hits_whp(self, rng):
+        n, k = 300, 40
+        sets = random_instance(rng, n=n, num_sets=80, k=k)
+        a = random_hitting_set(n, k, rng, c=3.0)
+        assert hits_all(sets, a)
+
+    def test_size_bound(self, rng):
+        n, k = 500, 50
+        a = random_hitting_set(n, k, rng, c=2.0)
+        # E|A| = 2 n ln n / k ~ 124; allow 3x slack.
+        assert len(a) <= 3 * 2 * n * np.log(n) / k
+
+    def test_empty_universe(self, rng):
+        assert len(random_hitting_set(0, 5, rng)) == 0
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            random_hitting_set(10, 0, rng)
+
+    def test_announce_round_charged(self, rng):
+        ledger = RoundLedger()
+        random_hitting_set(100, 10, rng, ledger=ledger)
+        assert ledger.total == 1.0
+
+    def test_small_k_takes_everything(self, rng):
+        a = random_hitting_set(50, 1, rng, c=5.0)
+        assert len(a) == 50  # p = min(1, 5 ln 50) = 1
+
+
+class TestDeterministicHittingSet:
+    def test_hits_all_always(self, rng):
+        sets = random_instance(rng, n=150, num_sets=60, k=10)
+        a = deterministic_hitting_set(sets, 150)
+        assert hits_all(sets, a)
+
+    def test_greedy_size_reasonable(self, rng):
+        n, k = 200, 40
+        sets = random_instance(rng, n=n, num_sets=100, k=k)
+        a = deterministic_hitting_set(sets, n)
+        # Greedy: O((n/k) ln(#sets)) = 5 * 4.6 = 23; generous 3x slack.
+        assert len(a) <= 3 * (n / k) * np.log(len(sets) + 1) + 1
+
+    def test_empty_sets_skipped(self):
+        a = deterministic_hitting_set([[], [1, 2]], 5)
+        assert hits_all([[], [1, 2]], a)
+
+    def test_no_sets(self):
+        assert len(deterministic_hitting_set([], 5)) == 0
+
+    def test_single_common_element(self):
+        sets = [[3, 7], [3, 9], [3, 1]]
+        a = deterministic_hitting_set(sets, 10)
+        assert a.tolist() == [3]
+
+    def test_rounds_charged(self, rng):
+        ledger = RoundLedger()
+        deterministic_hitting_set([[1, 2]], 100, ledger=ledger)
+        assert ledger.total > 0
+
+
+class TestHelpers:
+    def test_unhit_sets(self):
+        sets = [[0, 1], [2, 3], [4]]
+        assert unhit_sets(sets, [0, 4]) == [1]
+
+    def test_hits_all_empty_family(self):
+        assert hits_all([], [1])
+
+    def test_unhit_ignores_empty(self):
+        assert unhit_sets([[], [5]], []) == [1]

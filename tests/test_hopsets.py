@@ -1,0 +1,136 @@
+"""Tests for bounded hopsets (Theorem 12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cliquesim import RoundLedger
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, hop_limited_bellman_ford
+from repro.toolkit import build_bounded_hopset, hopset_beta
+
+
+def check_hopset_property(g, hs, eps, t, sample_sources):
+    """Verify: d <= d^beta_{G∪H} <= (1+eps) d for all pairs at distance <= t."""
+    exact = all_pairs_distances(g)[sample_sources]
+    union = hs.union_with(g)
+    approx = hop_limited_bellman_ford(union, sample_sources, max_hops=hs.beta)
+    mask = np.isfinite(exact) & (exact <= t) & (exact > 0)
+    assert (approx[mask] >= exact[mask] - 1e-9).all(), "hopset underestimates"
+    ratio = approx[mask] / exact[mask]
+    assert ratio.max() <= 1 + eps + 1e-9, f"stretch {ratio.max()} > 1+{eps}"
+
+
+class TestGuarantee:
+    def test_path_graph(self, rng):
+        g = gen.path_graph(120)
+        hs = build_bounded_hopset(g, eps=0.5, t=64, rng=rng)
+        check_hopset_property(g, hs, 0.5, 64, list(range(0, 120, 11)))
+
+    def test_grid(self, rng):
+        g = gen.grid_graph(10, 10)
+        hs = build_bounded_hopset(g, eps=0.5, t=16, rng=rng)
+        check_hopset_property(g, hs, 0.5, 16, list(range(0, 100, 9)))
+
+    def test_er_graph(self, rng):
+        g = gen.connected_erdos_renyi(100, 2.5, rng)
+        hs = build_bounded_hopset(g, eps=0.25, t=8, rng=rng)
+        check_hopset_property(g, hs, 0.25, 8, list(range(0, 100, 7)))
+
+    def test_deterministic_variant(self, rng):
+        g = gen.path_graph(80)
+        hs = build_bounded_hopset(g, eps=0.5, t=32, deterministic=True)
+        check_hopset_property(g, hs, 0.5, 32, list(range(0, 80, 13)))
+
+    def test_tree(self, rng):
+        g = gen.balanced_tree(2, 6)
+        hs = build_bounded_hopset(g, eps=0.5, t=12, rng=rng)
+        check_hopset_property(g, hs, 0.5, 12, list(range(0, g.n, 10)))
+
+
+class TestSizeAndShape:
+    def test_edge_bound(self, rng):
+        g = gen.connected_erdos_renyi(150, 3.0, rng)
+        hs = build_bounded_hopset(g, eps=0.5, t=16, rng=rng)
+        n = g.n
+        bound = 4 * n ** 1.5 * math.log2(n)
+        assert hs.num_edges <= bound
+
+    def test_beta_formula(self):
+        assert hopset_beta(2, 1.0, c_beta=3.0) == 3
+        assert hopset_beta(16, 0.5) == 24
+        assert hopset_beta(1, 0.5) >= 2
+
+    def test_hitting_set_size(self, rng):
+        g = gen.connected_erdos_renyi(150, 4.0, rng)
+        hs = build_bounded_hopset(g, eps=0.5, t=8, rng=rng)
+        # |A_1| = O(sqrt n log n) with the random construction + patching.
+        assert len(hs.hitting_set) <= 6 * math.sqrt(g.n) * math.log2(g.n)
+
+    def test_invalid_args(self, small_er, rng):
+        with pytest.raises(ValueError):
+            build_bounded_hopset(small_er, eps=0.0, t=4, rng=rng)
+        with pytest.raises(ValueError):
+            build_bounded_hopset(small_er, eps=0.5, t=0, rng=rng)
+
+
+class TestRounds:
+    def test_rounds_poly_log_t(self, rng):
+        g = gen.path_graph(60)
+        l1, l2 = RoundLedger(), RoundLedger()
+        h1 = build_bounded_hopset(g, eps=0.5, t=4, rng=rng, ledger=l1)
+        h2 = build_bounded_hopset(g, eps=0.5, t=32, rng=rng, ledger=l2)
+        assert h1.rounds < h2.rounds
+        # Theorem 12 total charge recorded:
+        assert any("theorem-12" in r.phase for r in l1)
+
+    def test_deterministic_charges_extra(self, rng):
+        g = gen.path_graph(50)
+        r_rand = build_bounded_hopset(g, eps=0.5, t=8, rng=rng).rounds
+        r_det = build_bounded_hopset(g, eps=0.5, t=8, deterministic=True).rounds
+        assert r_det > r_rand
+
+
+class TestInternals:
+    def test_claim_61_per_vertex_bunch_bound(self, rng):
+        """Claim 61: every vertex outside A_1 adds at most k = sqrt(n)log n
+        bunch edges."""
+        g = gen.connected_erdos_renyi(120, 4.0, rng)
+        hs = build_bounded_hopset(g, eps=0.5, t=8, rng=rng)
+        k = math.ceil(math.sqrt(g.n) * math.log2(g.n))
+        a1 = set(int(x) for x in hs.hitting_set)
+        for v in range(g.n):
+            if v in a1:
+                continue
+            degree = hs.hopset.degree(v)
+            # v's own bunch plus edges other vertices added towards v.
+            assert degree <= 3 * k
+
+    def test_a1_pairs_connected_within_t(self, rng):
+        """After the level iterations, A_1 pairs within distance t have a
+        direct hopset edge (the A_1 x A_1 stage adds them)."""
+        g = gen.path_graph(100)
+        t = 32
+        hs = build_bounded_hopset(g, eps=0.5, t=t, rng=rng)
+        exact = all_pairs_distances(g)
+        a1 = [int(x) for x in hs.hitting_set]
+        for i, a in enumerate(a1):
+            for b in a1[i + 1:]:
+                if exact[a, b] <= t:
+                    assert np.isfinite(hs.hopset.weight(a, b))
+
+    def test_beta_grows_with_smaller_eps(self):
+        from repro.toolkit import hopset_beta
+
+        assert hopset_beta(16, 0.25) > hopset_beta(16, 0.5)
+
+
+class TestSoundness:
+    def test_hopset_weights_never_below_true_distance(self, rng):
+        """Structural soundness: every hopset edge weight >= d_G."""
+        g = gen.connected_erdos_renyi(80, 3.0, rng)
+        hs = build_bounded_hopset(g, eps=0.5, t=10, rng=rng)
+        exact = all_pairs_distances(g)
+        for u, v, w in hs.hopset.edges():
+            assert w >= exact[u, v] - 1e-9

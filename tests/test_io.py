@@ -1,0 +1,57 @@
+"""Tests for graph/estimate persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, WeightedGraph, generators as gen
+from repro.graph.io import (
+    load_estimates,
+    load_graph,
+    load_weighted_graph,
+    save_estimates,
+    save_graph,
+    save_weighted_graph,
+)
+
+
+class TestGraphRoundtrip:
+    def test_graph(self, tmp_path, rng):
+        g = gen.connected_erdos_renyi(50, 3.0, rng)
+        path = str(tmp_path / "g.npz")
+        save_graph(path, g)
+        g2 = load_graph(path)
+        assert g2.n == g.n
+        assert np.array_equal(g2.edges(), g.edges())
+
+    def test_empty_graph(self, tmp_path):
+        path = str(tmp_path / "empty.npz")
+        save_graph(path, Graph.empty(7))
+        g2 = load_graph(path)
+        assert g2.n == 7 and g2.m == 0
+
+    def test_weighted(self, tmp_path):
+        wg = WeightedGraph(5)
+        wg.add_edges_from([(0, 1, 2.5), (3, 4, 1.0)])
+        path = str(tmp_path / "w.npz")
+        save_weighted_graph(path, wg)
+        wg2 = load_weighted_graph(path)
+        assert wg2.weight(0, 1) == 2.5
+        assert wg2.m == 2
+
+    def test_estimates(self, tmp_path):
+        est = np.array([[0.0, np.inf], [2.0, 0.0]])
+        path = str(tmp_path / "e.npz")
+        save_estimates(path, est, name="demo")
+        loaded, name = load_estimates(path)
+        assert name == "demo"
+        assert np.array_equal(
+            np.nan_to_num(loaded, posinf=-1), np.nan_to_num(est, posinf=-1)
+        )
+
+    def test_kind_mismatch(self, tmp_path):
+        path = str(tmp_path / "g.npz")
+        save_graph(path, Graph.empty(3))
+        with pytest.raises(ValueError, match="expected"):
+            load_weighted_graph(path)

@@ -1,0 +1,68 @@
+"""Unit tests for repro.cliquesim.ledger."""
+
+import math
+
+import pytest
+
+from repro.cliquesim import PhaseRecord, RoundLedger
+
+
+class TestPhaseRecord:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseRecord(phase="x", rounds=-1)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseRecord(phase="x", rounds=math.inf)
+
+    def test_zero_allowed(self):
+        assert PhaseRecord(phase="x", rounds=0).rounds == 0
+
+
+class TestRoundLedger:
+    def test_empty_total(self):
+        assert RoundLedger().total == 0
+
+    def test_charge_accumulates(self):
+        ledger = RoundLedger()
+        ledger.charge(2, "a")
+        ledger.charge(3.5, "b")
+        assert ledger.total == 5.5
+
+    def test_charge_returns_amount(self):
+        assert RoundLedger().charge(4, "x") == 4.0
+
+    def test_breakdown_groups_by_phase(self):
+        ledger = RoundLedger()
+        ledger.charge(1, "a")
+        ledger.charge(2, "a")
+        ledger.charge(3, "b")
+        assert ledger.breakdown() == {"a": 3.0, "b": 3.0}
+
+    def test_merge_with_prefix(self):
+        a = RoundLedger()
+        a.charge(1, "x")
+        b = RoundLedger()
+        b.charge(2, "y")
+        a.merge(b, prefix="sub:")
+        assert a.breakdown() == {"x": 1.0, "sub:y": 2.0}
+
+    def test_len_and_iter(self):
+        ledger = RoundLedger()
+        ledger.charge(1, "a")
+        ledger.charge(1, "b")
+        assert len(ledger) == 2
+        assert [r.phase for r in ledger] == ["a", "b"]
+
+    def test_summary_contains_phases(self):
+        ledger = RoundLedger()
+        ledger.charge(5, "heavy-phase")
+        text = ledger.summary()
+        assert "heavy-phase" in text
+        assert "total rounds" in text
+
+    def test_repr(self):
+        ledger = RoundLedger()
+        ledger.charge(1, "a")
+        assert "total=1.00" in repr(ledger)

@@ -1,0 +1,76 @@
+"""Small-surface coverage: entry points and less-travelled branches."""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.cliquesim import CongestedClique, route
+from repro.emulator import EmulatorParams, build_emulator_whp
+from repro.graph import WeightedGraph, generators as gen
+from repro.graph.io import load_estimates, save_estimates
+from repro.matmul import filtered_product_with_cost, sparse_minplus_with_cost
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "families"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "er_sparse" in result.stdout
+
+
+class TestSmallBranches:
+    def test_route_empty_instance(self):
+        clique = CongestedClique(4)
+        delivered = route(clique, [])
+        assert all(d == [] for d in delivered)
+
+    def test_estimates_default_name(self, tmp_path):
+        path = str(tmp_path / "e.npz")
+        save_estimates(path, np.zeros((2, 2)))
+        _, name = load_estimates(path)
+        assert name == ""
+
+    def test_cost_wrappers_without_ledger(self, rng):
+        a = rng.integers(0, 5, (6, 6)).astype(float)
+        out1, r1 = sparse_minplus_with_cost(a, a, n=6)
+        out2, r2 = filtered_product_with_cost(a, a, rho=2, n=6, num_values=8)
+        assert r1 >= 1 and r2 >= 1
+
+    def test_whp_single_draw(self, rng):
+        g = gen.path_graph(40)
+        res = build_emulator_whp(g, eps=0.5, r=2, rng=rng, num_draws=1)
+        assert res.stats["chosen_draw"] == 0
+
+    def test_params_repr_fields(self):
+        p = EmulatorParams(eps=0.2, r=2)
+        assert len(p.deltas) == 3
+        assert len(p.big_rs) == 3
+        assert len(p.betas) == 3
+
+    def test_weighted_graph_edges_empty(self):
+        wg = WeightedGraph(3)
+        assert list(wg.edges()) == []
+        us, vs, ws = wg.edge_arrays()
+        assert us.size == vs.size == ws.size == 0
+
+    def test_clique_node_defaults(self):
+        from repro.cliquesim import CliqueNode
+
+        node = CliqueNode(0, 4)
+        assert node.generate(0) == {}
+        assert node.done() is True
+        node.receive(0, {})  # no-op
+
+    def test_distance_result_name_mutable(self, rng):
+        from repro.apsp import sssp
+
+        g = gen.path_graph(30)
+        res = sssp(g, 0, eps=0.5, r=2, rng=rng)
+        assert res.name.startswith("(1+eps)-SSSP")

@@ -1,0 +1,87 @@
+"""Tests for (1+eps)-MSSP (Theorem 33)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apsp import mssp, sssp
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances
+
+
+class TestMSSP:
+    def test_guarantee_sqrt_n_sources(self, family_graph, rng):
+        n = family_graph.n
+        num_sources = max(1, int(math.sqrt(n)))
+        sources = list(range(0, n, max(1, n // num_sources)))[:num_sources]
+        exact = all_pairs_distances(family_graph)[sources]
+        res = mssp(family_graph, sources, eps=0.5, r=2, rng=rng)
+        assert res.check_sound(exact)
+        finite = np.isfinite(exact) & (exact > 0)
+        ratio = res.estimates[finite] / exact[finite]
+        assert ratio.max() <= 1.5 + 1e-9
+
+    def test_single_source(self, small_er, rng):
+        exact = all_pairs_distances(small_er)[[0]]
+        res = mssp(small_er, [0], eps=0.25, r=2, rng=rng)
+        finite = np.isfinite(exact) & (exact > 0)
+        ratio = res.estimates[finite] / exact[finite]
+        assert res.check_sound(exact)
+        assert ratio.max() <= 1.25 + 1e-9
+
+    def test_source_distance_zero(self, small_er, rng):
+        res = mssp(small_er, [3, 9], eps=0.5, r=2, rng=rng)
+        assert res.estimates[0, 3] == 0
+        assert res.estimates[1, 9] == 0
+
+    def test_shape(self, small_er, rng):
+        res = mssp(small_er, [1, 2, 3], eps=0.5, r=2, rng=rng)
+        assert res.estimates.shape == (3, small_er.n)
+
+    def test_invalid_eps(self, small_er, rng):
+        with pytest.raises(ValueError):
+            mssp(small_er, [0], eps=0.0, rng=rng)
+        with pytest.raises(ValueError):
+            mssp(small_er, [0], eps=1.0, rng=rng)
+
+    def test_source_out_of_range(self, small_er, rng):
+        with pytest.raises(IndexError):
+            mssp(small_er, [small_er.n + 5], eps=0.5, rng=rng)
+
+    def test_stats_fields(self, small_er, rng):
+        res = mssp(small_er, [0, 1], eps=0.5, r=2, rng=rng)
+        for key in ("beta", "t", "hopset_edges", "hopset_beta", "num_sources"):
+            assert key in res.stats
+
+    def test_deterministic_variant(self, small_grid):
+        sources = [0, 10, 20]
+        exact = all_pairs_distances(small_grid)[sources]
+        res = mssp(small_grid, sources, eps=0.5, r=2, variant="deterministic")
+        assert res.check_sound(exact)
+        finite = np.isfinite(exact) & (exact > 0)
+        ratio = res.estimates[finite] / exact[finite]
+        assert ratio.max() <= 1.5 + 1e-9
+
+    def test_sssp_wrapper(self, small_er, rng):
+        """The introduction's emphasis: even single-source (1+eps) was
+        poly(log n) before — the wrapper inherits the MSSP guarantee."""
+        exact = all_pairs_distances(small_er)[[4]]
+        res = sssp(small_er, 4, eps=0.25, r=2, rng=rng)
+        assert res.estimates.shape == (1, small_er.n)
+        assert "SSSP" in res.name
+        finite = np.isfinite(exact) & (exact > 0)
+        assert res.check_sound(exact)
+        assert (res.estimates[finite] / exact[finite]).max() <= 1.25 + 1e-9
+
+    def test_long_path_both_regimes(self, rng):
+        """A long path exercises both the hopset (short) and emulator
+        (long) regimes of the algorithm."""
+        g = gen.path_graph(250)
+        sources = [0, 125, 249]
+        exact = all_pairs_distances(g)[sources]
+        res = mssp(g, sources, eps=0.5, r=2, rng=rng)
+        assert res.check_sound(exact)
+        finite = exact > 0
+        ratio = res.estimates[finite] / exact[finite]
+        assert ratio.max() <= 1.5 + 1e-9

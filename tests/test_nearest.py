@@ -1,0 +1,87 @@
+"""Tests for the (k, d)-nearest problem (Theorem 10)."""
+
+import numpy as np
+import pytest
+
+from repro.cliquesim import RoundLedger
+from repro.graph import Graph, generators as gen
+from repro.graph.distances import all_pairs_distances
+from repro.toolkit import kd_nearest, kd_nearest_bfs, kd_nearest_matrix
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k,d", [(1, 1), (3, 2), (5, 4), (10, 8), (60, 16)])
+    def test_matrix_equals_bfs(self, small_er, k, d):
+        m, _ = kd_nearest_matrix(small_er, k, d)
+        b, _ = kd_nearest_bfs(small_er, k, d)
+        assert np.array_equal(
+            np.nan_to_num(m, posinf=-1), np.nan_to_num(b, posinf=-1)
+        )
+
+    def test_matrix_equals_bfs_on_families(self, family_graph):
+        m, _ = kd_nearest_matrix(family_graph, 6, 5)
+        b, _ = kd_nearest_bfs(family_graph, 6, 5)
+        assert np.array_equal(
+            np.nan_to_num(m, posinf=-1), np.nan_to_num(b, posinf=-1)
+        )
+
+
+class TestSemantics:
+    def test_row_contains_self(self, small_er):
+        out, _ = kd_nearest_bfs(small_er, 4, 3)
+        for v in range(small_er.n):
+            assert out[v, v] == 0
+
+    def test_distances_correct(self, small_grid):
+        out, _ = kd_nearest_bfs(small_grid, 8, 4)
+        exact = all_pairs_distances(small_grid)
+        finite = np.isfinite(out)
+        assert np.array_equal(out[finite], exact[finite])
+
+    def test_row_has_at_most_k_entries(self, small_er):
+        out, _ = kd_nearest_bfs(small_er, 7, 10)
+        assert (np.isfinite(out).sum(axis=1) <= 7).all()
+
+    def test_entries_within_d(self, small_er):
+        out, _ = kd_nearest_bfs(small_er, 50, 2)
+        assert (out[np.isfinite(out)] <= 2).all()
+
+    def test_takes_closest_k(self, small_path):
+        # On a path, the 3 nearest of vertex 10 within distance 5 are
+        # {10, 9, 11} (ties at distance 1 and the self at 0).
+        out, _ = kd_nearest_bfs(small_path, 3, 5)
+        members = np.flatnonzero(np.isfinite(out[10]))
+        assert set(members.tolist()) == {9, 10, 11}
+
+    def test_fewer_than_k_available(self):
+        g = Graph(4, [(0, 1)])
+        out, _ = kd_nearest_bfs(g, 10, 5)
+        assert np.isfinite(out[0]).sum() == 2  # 0 and 1
+
+    def test_invalid_arguments(self, triangle):
+        with pytest.raises(ValueError):
+            kd_nearest_matrix(triangle, 0, 1)
+        with pytest.raises(ValueError):
+            kd_nearest_matrix(triangle, 1, 0)
+
+
+class TestDispatchAndRounds:
+    def test_dispatch_methods(self, triangle):
+        a, _ = kd_nearest(triangle, 2, 1, method="bfs")
+        b, _ = kd_nearest(triangle, 2, 1, method="matrix")
+        assert np.array_equal(np.nan_to_num(a, posinf=-1), np.nan_to_num(b, posinf=-1))
+
+    def test_dispatch_unknown(self, triangle):
+        with pytest.raises(ValueError):
+            kd_nearest(triangle, 1, 1, method="quantum")
+
+    def test_rounds_charged_equally(self, small_er):
+        la, lb = RoundLedger(), RoundLedger()
+        _, ra = kd_nearest_matrix(small_er, 4, 4, ledger=la)
+        _, rb = kd_nearest_bfs(small_er, 4, 4, ledger=lb)
+        assert ra == rb == la.total == lb.total
+
+    def test_rounds_grow_with_d(self, small_er):
+        _, r1 = kd_nearest_bfs(small_er, 4, 2)
+        _, r2 = kd_nearest_bfs(small_er, 4, 32)
+        assert r2 > r1

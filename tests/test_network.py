@@ -1,0 +1,111 @@
+"""Tests for the message-level Congested Clique simulator."""
+
+import pytest
+
+from repro.cliquesim import BandwidthError, CliqueNode, CongestedClique
+
+
+class MinFinderNode(CliqueNode):
+    """Round 1: everyone broadcasts its value; round 2: everyone knows the
+    minimum.  A canonical 1-round clique algorithm."""
+
+    def __init__(self, node_id, n, value):
+        super().__init__(node_id, n)
+        self.value = value
+        self.minimum = None
+
+    def generate(self, round_no):
+        if round_no == 0:
+            return {dest: (self.value,) for dest in range(self.n)}
+        return {}
+
+    def receive(self, round_no, messages):
+        if round_no == 0:
+            self.minimum = min(payload[0] for payload in messages.values())
+
+    def done(self):
+        return self.minimum is not None
+
+
+class TestExchange:
+    def test_basic_delivery(self):
+        clique = CongestedClique(3)
+        inboxes = clique.exchange([{1: (7,)}, {}, {0: (9,)}])
+        assert inboxes[1][0] == (7,)
+        assert inboxes[0][2] == (9,)
+        assert clique.rounds_executed == 1
+        assert clique.messages_sent == 2
+
+    def test_wrong_outbox_count(self):
+        with pytest.raises(ValueError):
+            CongestedClique(3).exchange([{}])
+
+    def test_destination_out_of_range(self):
+        with pytest.raises(BandwidthError, match="destination"):
+            CongestedClique(2).exchange([{5: (1,)}, {}])
+
+    def test_payload_too_many_words(self):
+        clique = CongestedClique(4, words_per_message=2)
+        with pytest.raises(BandwidthError, match="words"):
+            clique.exchange([{1: (1, 2, 3)}, {}, {}, {}])
+
+    def test_payload_word_too_wide(self):
+        clique = CongestedClique(4)
+        huge = 1 << 40
+        with pytest.raises(BandwidthError, match="bits"):
+            clique.exchange([{1: (huge,)}, {}, {}, {}])
+
+    def test_payload_not_tuple(self):
+        with pytest.raises(BandwidthError, match="tuple"):
+            CongestedClique(2).exchange([{1: [1]}, {}])
+
+    def test_payload_non_integer(self):
+        with pytest.raises(BandwidthError, match="non-integer"):
+            CongestedClique(2).exchange([{1: ("a",)}, {}])
+
+    def test_ledger_records_rounds(self):
+        clique = CongestedClique(2)
+        clique.exchange([{}, {}], phase="p1")
+        clique.exchange([{}, {}], phase="p1")
+        assert clique.ledger.breakdown() == {"p1": 2.0}
+
+    def test_bits_per_word_scales_with_n(self):
+        assert CongestedClique(2).bits_per_word == 9
+        assert CongestedClique(1024).bits_per_word == 18
+
+
+class TestCollectives:
+    def test_broadcast(self):
+        clique = CongestedClique(4)
+        received = clique.broadcast(2, (11,))
+        assert all(p == (11,) for p in received)
+        assert clique.rounds_executed == 1
+
+    def test_all_to_all(self):
+        clique = CongestedClique(3)
+        received = clique.all_to_all([(0,), (10,), (20,)])
+        for inbox in received:
+            assert [p[0] for p in inbox] == [0, 10, 20]
+
+
+class TestRunAlgorithm:
+    def test_min_finder_completes_in_one_round(self):
+        n = 8
+        clique = CongestedClique(n)
+        nodes = [MinFinderNode(i, n, value=(i * 7) % 5 + 1) for i in range(n)]
+        rounds = clique.run(nodes)
+        expected = min(node.value for node in nodes)
+        assert rounds == 1
+        assert all(node.minimum == expected for node in nodes)
+
+    def test_node_count_mismatch(self):
+        with pytest.raises(ValueError):
+            CongestedClique(3).run([MinFinderNode(0, 3, 1)])
+
+    def test_nontermination_detected(self):
+        class Stuck(CliqueNode):
+            def done(self):
+                return False
+
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            CongestedClique(2).run([Stuck(0, 2), Stuck(1, 2)], max_rounds=5)

@@ -1,0 +1,92 @@
+"""Tests for source_detection_k and the DNF-derandomized hitting set."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.derand import dnf_hitting_set
+from repro.toolkit import hits_all, source_detection, source_detection_k
+
+
+class TestSourceDetectionK:
+    def test_k_geq_sources_identical(self, small_er):
+        wg = small_er.to_weighted()
+        sources = [0, 5, 9]
+        full, _ = source_detection(wg, sources, 4)
+        topk, _ = source_detection_k(wg, sources, 4, k=5)
+        assert np.array_equal(
+            np.nan_to_num(full, posinf=-1), np.nan_to_num(topk, posinf=-1)
+        )
+
+    def test_keeps_k_closest_per_vertex(self, small_er):
+        wg = small_er.to_weighted()
+        sources = list(range(0, small_er.n, 6))
+        full, _ = source_detection(wg, sources, small_er.n)
+        topk, _ = source_detection_k(wg, sources, small_er.n, k=2)
+        for v in range(small_er.n):
+            kept = np.flatnonzero(np.isfinite(topk[:, v]))
+            assert len(kept) <= 2
+            if len(kept) == 2:
+                # Kept values must be the two smallest in the full column.
+                smallest = np.sort(full[:, v][np.isfinite(full[:, v])])[:2]
+                assert np.allclose(np.sort(topk[kept, v]), smallest)
+
+    def test_values_match_full(self, small_grid):
+        wg = small_grid.to_weighted()
+        sources = [0, 30, 63]
+        full, _ = source_detection(wg, sources, 10)
+        topk, _ = source_detection_k(wg, sources, 10, k=1)
+        finite = np.isfinite(topk)
+        assert np.array_equal(topk[finite], full[finite])
+
+    def test_invalid_k(self, small_er):
+        with pytest.raises(ValueError):
+            source_detection_k(small_er.to_weighted(), [0], 3, k=0)
+
+
+class TestDnfHittingSet:
+    def test_hits_everything(self, rng):
+        n, k = 200, 25
+        sets = [rng.choice(n, size=k, replace=False) for _ in range(80)]
+        z = dnf_hitting_set(sets, n, delta=k)
+        assert hits_all(sets, z)
+
+    def test_size_bound(self, rng):
+        n, k, num = 400, 40, 120
+        sets = [rng.choice(n, size=k, replace=False) for _ in range(num)]
+        z = dnf_hitting_set(sets, n, delta=k)
+        bound = 6 * (n / k) * math.log(num + 1)
+        assert len(z) <= bound
+
+    def test_deterministic(self, rng):
+        n, k = 100, 10
+        sets = [rng.choice(n, size=k, replace=False) for _ in range(30)]
+        a = dnf_hitting_set(sets, n)
+        b = dnf_hitting_set(sets, n)
+        assert np.array_equal(a, b)
+
+    def test_empty_family(self):
+        assert len(dnf_hitting_set([], 50)) == 0
+
+    def test_tiny_delta_degenerate(self, rng):
+        sets = [[3], [7]]
+        z = dnf_hitting_set(sets, 10)
+        assert hits_all(sets, z)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            dnf_hitting_set([[100]], 10)
+
+    def test_singleton_universe_overlap(self):
+        sets = [[0, 1, 2], [2, 3, 4], [2, 5, 6]]
+        z = dnf_hitting_set(sets, 7, delta=3)
+        assert hits_all(sets, z)
+
+    def test_rounds_charged(self, rng):
+        from repro.cliquesim import RoundLedger
+
+        ledger = RoundLedger()
+        sets = [rng.choice(50, size=5, replace=False) for _ in range(10)]
+        dnf_hitting_set(sets, 50, ledger=ledger)
+        assert ledger.total > 0

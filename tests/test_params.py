@@ -1,0 +1,122 @@
+"""Tests for the emulator parameter recurrences (Claims 19-22)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.emulator import EmulatorParams, sampling_probabilities
+
+
+class TestRecurrences:
+    def test_delta_zero(self):
+        p = EmulatorParams(eps=0.1, r=3)
+        assert p.deltas[0] == 1.0  # 1/eps^0 + 2 R_0
+
+    def test_delta_recurrence(self):
+        p = EmulatorParams(eps=0.2, r=4)
+        for i in range(p.r + 1):
+            assert p.deltas[i] == pytest.approx(
+                0.2 ** (-i) + 2 * p.big_rs[i]
+            )
+
+    def test_r_is_prefix_sum_of_deltas(self):
+        p = EmulatorParams(eps=0.25, r=4)
+        for i in range(p.r + 1):
+            assert p.big_rs[i] == pytest.approx(sum(p.deltas[:i]))
+
+    def test_claim_19_closed_form(self):
+        """R_i = sum_{j=0}^{i-1} 3^{i-1-j} / eps^j."""
+        eps = 0.15
+        p = EmulatorParams(eps=eps, r=5)
+        for i in range(p.r + 1):
+            closed = sum(3 ** (i - 1 - j) / eps**j for j in range(i))
+            assert p.big_rs[i] == pytest.approx(closed)
+
+    def test_claim_20_bound(self):
+        """R_i <= 2 / eps^{i-1} for eps < 1/6."""
+        for eps in (0.05, 0.1, 0.15):
+            p = EmulatorParams(eps=eps, r=5)
+            for i in range(1, p.r + 1):
+                assert p.big_rs[i] <= 2.0 / eps ** (i - 1) + 1e-9
+
+    def test_claim_21_beta_recurrence(self):
+        """beta_i = 4 R_i + 2 beta_{i-1}."""
+        p = EmulatorParams(eps=0.2, r=5)
+        for i in range(1, p.r + 1):
+            assert p.betas[i] == pytest.approx(
+                4 * p.big_rs[i] + 2 * p.betas[i - 1]
+            )
+
+    def test_claim_22_bound(self):
+        """beta_i <= 10 / eps^{i-1} for eps < 1/10."""
+        for eps in (0.02, 0.05, 0.09):
+            p = EmulatorParams(eps=eps, r=5)
+            for i in range(p.r + 1):
+                assert p.betas[i] <= 10.0 / eps ** max(i - 1, 0) + 1e-9
+
+    def test_beta_zero(self):
+        assert EmulatorParams(eps=0.3, r=2).betas[0] == 0.0
+
+
+class TestApiSurface:
+    def test_invalid_eps(self):
+        with pytest.raises(ValueError):
+            EmulatorParams(eps=0.0, r=2)
+        with pytest.raises(ValueError):
+            EmulatorParams(eps=1.5, r=2)
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            EmulatorParams(eps=0.5, r=0)
+
+    def test_from_target_rescales(self):
+        p = EmulatorParams.from_target_eps(0.5, 2)
+        assert p.eps == pytest.approx(0.5 / 40)
+        assert p.multiplicative == pytest.approx(1.5)
+
+    def test_stretch_bound_formula(self):
+        p = EmulatorParams(eps=0.01, r=2)
+        assert p.stretch_bound(10) == pytest.approx(
+            (1 + 20 * 0.01 * 2) * 10 + p.beta
+        )
+
+    def test_default_r_values(self):
+        assert EmulatorParams.default_r(16) == 2
+        assert EmulatorParams.default_r(2**16) == 4  # log2 log2 2^16
+        assert EmulatorParams.default_r(2**256) == 8
+        assert EmulatorParams.default_r(4) >= 2  # clamped below
+
+    def test_expected_edge_bound(self):
+        p = EmulatorParams(eps=0.1, r=2)
+        assert p.expected_edge_bound(10000) == pytest.approx(
+            2 * 10000 ** 1.25
+        )
+
+    def test_properties(self):
+        p = EmulatorParams(eps=0.1, r=3)
+        assert p.beta == p.betas[3]
+        assert p.delta_r == p.deltas[3]
+
+
+class TestSamplingProbabilities:
+    def test_claim_15_product_is_inverse_sqrt(self):
+        """prod p_i = 1/sqrt(n) — the S_r membership probability."""
+        for n in (64, 1000, 10**6):
+            for r in (2, 3, 4):
+                probs = sampling_probabilities(n, r)
+                assert np.prod(probs[1:]) == pytest.approx(n ** -0.5)
+
+    def test_exponent_pattern(self):
+        n, r = 10**4, 3
+        probs = sampling_probabilities(n, r)
+        assert probs[1] == pytest.approx(n ** (-1 / 8))
+        assert probs[2] == pytest.approx(n ** (-2 / 8))
+        assert probs[3] == pytest.approx(n ** (-1 / 8))  # special p_r
+
+    def test_p0_is_one(self):
+        assert sampling_probabilities(100, 2)[0] == 1.0
+
+    def test_invalid_r(self):
+        with pytest.raises(ValueError):
+            sampling_probabilities(100, 0)

@@ -1,0 +1,101 @@
+"""Tests for approximate path reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.apsp.paths import EmulatorPathOracle, validate_path
+from repro.emulator import build_emulator, build_emulator_cc
+from repro.graph import Graph, generators as gen
+from repro.graph.distances import all_pairs_distances
+
+
+@pytest.fixture
+def oracle_setup(rng):
+    g = gen.make_family("er_sparse", 80, seed=21)
+    res = build_emulator(g, eps=0.5, r=2, rng=rng)
+    return g, res, EmulatorPathOracle.from_result(g, res)
+
+
+class TestEmulatorPathOracle:
+    def test_paths_are_real_graph_walks(self, oracle_setup):
+        g, res, oracle = oracle_setup
+        for u, v in [(0, 50), (3, 77), (10, 11), (25, 25)]:
+            path = oracle.graph_path(u, v)
+            assert path is not None
+            assert path[0] == u and path[-1] == v
+            assert validate_path(g, path)
+
+    def test_path_length_within_stretch(self, oracle_setup):
+        g, res, oracle = oracle_setup
+        exact = all_pairs_distances(g)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            u, v = rng.integers(0, g.n, 2)
+            if not np.isfinite(exact[u, v]):
+                continue
+            length = oracle.path_length(int(u), int(v))
+            assert length >= exact[u, v] - 1e-9
+            bound = res.params.stretch_bound(exact[u, v])
+            assert length <= bound + 1e-9
+
+    def test_path_certifies_estimate(self, oracle_setup):
+        """The expanded path never exceeds the emulator estimate —
+        reconstruction is a certificate for the distance value."""
+        g, res, oracle = oracle_setup
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            u, v = (int(x) for x in rng.integers(0, g.n, 2))
+            est = oracle.estimate(u, v)
+            if np.isfinite(est):
+                assert oracle.path_length(u, v) <= est + 1e-9
+
+    def test_self_path(self, oracle_setup):
+        _, _, oracle = oracle_setup
+        assert oracle.graph_path(5, 5) == [5]
+        assert oracle.path_length(5, 5) == 0
+
+    def test_unreachable(self, rng):
+        g = Graph(6, [(0, 1), (2, 3)])
+        res = build_emulator(g, eps=0.5, r=2, rng=rng)
+        oracle = EmulatorPathOracle.from_result(g, res)
+        assert oracle.graph_path(0, 3) is None
+        assert oracle.path_length(0, 3) == np.inf
+
+    def test_emulator_path_hops(self, oracle_setup):
+        _, _, oracle = oracle_setup
+        hops = oracle.emulator_path(0, 50)
+        assert hops[0] == 0 and hops[-1] == 50
+
+    def test_mismatched_sizes_rejected(self, rng):
+        from repro.graph import WeightedGraph
+
+        g = gen.path_graph(5)
+        with pytest.raises(ValueError):
+            EmulatorPathOracle(g, WeightedGraph(6))
+
+    def test_cc_emulator_paths(self, rng):
+        """CC emulator edges carry approximate weights; the reconstructed
+        path is still a real G-path no longer than the estimate."""
+        g = gen.make_family("grid", 64, seed=4)
+        res = build_emulator_cc(g, eps=0.5, r=2, rng=rng)
+        oracle = EmulatorPathOracle.from_result(g, res)
+        exact = all_pairs_distances(g)
+        for u, v in [(0, 63), (5, 40), (12, 13)]:
+            path = oracle.graph_path(u, v)
+            assert validate_path(g, path)
+            assert len(path) - 1 >= exact[u, v] - 1e-9
+            assert len(path) - 1 <= oracle.estimate(u, v) + 1e-9
+
+
+class TestValidatePath:
+    def test_valid(self):
+        g = gen.path_graph(5)
+        assert validate_path(g, [0, 1, 2, 3])
+
+    def test_invalid_jump(self):
+        g = gen.path_graph(5)
+        assert not validate_path(g, [0, 2])
+
+    def test_single_vertex(self):
+        g = gen.path_graph(3)
+        assert validate_path(g, [1])

@@ -1,0 +1,84 @@
+"""Property tests of the application-level guarantees on random
+*connected* graphs (the theorems' full statements, not just soundness)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.apsp import apsp_three_plus_eps, apsp_two_plus_eps, mssp
+from repro.graph import Graph
+from repro.graph.distances import all_pairs_distances
+
+
+@st.composite
+def connected_graphs(draw, min_n=5, max_n=20):
+    """A random connected graph: random spanning tree + extra edges."""
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    parents = [
+        draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)
+    ]
+    edges = {(min(i, p), max(i, p)) for i, p in enumerate(parents, start=1)}
+    extra = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=2 * n,
+        )
+    )
+    for u, v in extra:
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges))
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=connected_graphs(), seed=st.integers(min_value=0, max_value=500))
+def test_two_plus_eps_guarantee_property(g, seed):
+    """Theorem 34 as a property: max stretch <= 2 + eps on any connected
+    graph."""
+    rng = np.random.default_rng(seed)
+    exact = all_pairs_distances(g)
+    res = apsp_two_plus_eps(g, eps=0.5, r=2, rng=rng)
+    positive = np.isfinite(exact) & (exact > 0)
+    assert (res.estimates[positive] >= exact[positive] - 1e-9).all()
+    assert (res.estimates[positive] <= 2.5 * exact[positive] + 1e-9).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=connected_graphs(), seed=st.integers(min_value=0, max_value=500))
+def test_three_plus_eps_guarantee_property(g, seed):
+    rng = np.random.default_rng(seed)
+    exact = all_pairs_distances(g)
+    res = apsp_three_plus_eps(g, eps=0.5, r=2, rng=rng)
+    positive = np.isfinite(exact) & (exact > 0)
+    assert (res.estimates[positive] >= exact[positive] - 1e-9).all()
+    assert (res.estimates[positive] <= 3.5 * exact[positive] + 1e-9).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    g=connected_graphs(min_n=6, max_n=18),
+    seed=st.integers(min_value=0, max_value=500),
+    data=st.data(),
+)
+def test_mssp_guarantee_property(g, seed, data):
+    """Theorem 33 as a property: (1 + eps) over arbitrary source sets."""
+    rng = np.random.default_rng(seed)
+    num_sources = data.draw(st.integers(min_value=1, max_value=max(1, g.n // 3)))
+    sources = sorted(
+        set(
+            data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=g.n - 1),
+                    min_size=num_sources,
+                    max_size=num_sources,
+                )
+            )
+        )
+    ) or [0]
+    exact = all_pairs_distances(g)[sources]
+    res = mssp(g, sources, eps=0.5, r=2, rng=rng)
+    positive = np.isfinite(exact) & (exact > 0)
+    assert (res.estimates[positive] >= exact[positive] - 1e-9).all()
+    assert (res.estimates[positive] <= 1.5 * exact[positive] + 1e-9).all()

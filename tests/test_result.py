@@ -1,0 +1,52 @@
+"""Tests for the DistanceResult container."""
+
+import numpy as np
+
+from repro.apsp import DistanceResult
+from repro.cliquesim import RoundLedger
+
+
+def make_result(est, mult=1.5, add=0.0):
+    return DistanceResult(
+        name="x", estimates=np.asarray(est, dtype=float),
+        multiplicative=mult, additive=add,
+    )
+
+
+class TestDistanceResult:
+    def test_sound_check_passes(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        res = make_result([[0, 2.5], [2.5, 0]])
+        assert res.check_sound(exact)
+
+    def test_sound_check_fails_on_undershoot(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        res = make_result([[0, 1.0], [2.0, 0]])
+        assert not res.check_sound(exact)
+
+    def test_guarantee_check(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        ok = make_result([[0, 3.0], [3.0, 0]], mult=1.5)
+        assert ok.check_guarantee(exact)
+        bad = make_result([[0, 3.5], [3.0, 0]], mult=1.5)
+        assert not bad.check_guarantee(exact)
+
+    def test_additive_included_in_bound(self):
+        exact = np.array([[0.0, 1.0], [1.0, 0.0]])
+        res = make_result([[0, 4.0], [4.0, 0]], mult=1.0, add=3.0)
+        assert res.check_guarantee(exact)
+
+    def test_infinite_pairs_ignored(self):
+        exact = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        res = make_result([[0, np.inf], [np.inf, 0]])
+        assert res.check_sound(exact)
+        assert res.check_guarantee(exact)
+
+    def test_rounds_from_ledger(self):
+        ledger = RoundLedger()
+        ledger.charge(7, "z")
+        res = DistanceResult(
+            name="x", estimates=np.zeros((1, 1)),
+            multiplicative=1.0, additive=0.0, ledger=ledger,
+        )
+        assert res.rounds == 7.0

@@ -1,0 +1,88 @@
+"""Tests for Lenzen routing and the all-learn collective."""
+
+import pytest
+
+from repro.cliquesim import CongestedClique, RoundLedger, RoutingError, gather_subgraph, route
+
+
+class TestRoute:
+    def test_single_message(self):
+        clique = CongestedClique(4)
+        delivered = route(clique, [(0, 3, (42,))])
+        assert delivered[3] == [(0, (42,))]
+
+    def test_many_to_one_within_bound(self):
+        n = 6
+        clique = CongestedClique(n)
+        messages = [(src, 0, (src,)) for src in range(n)]
+        delivered = route(clique, messages)
+        assert sorted(p[0] for p in delivered[0]) == list(range(n))
+
+    def test_one_to_many(self):
+        n = 5
+        clique = CongestedClique(n)
+        messages = [(0, dest, (dest,)) for dest in range(n)]
+        delivered = route(clique, messages)
+        for dest in range(n):
+            assert delivered[dest] == [(0, (dest,))]
+
+    def test_full_permutation_fast(self):
+        n = 8
+        clique = CongestedClique(n)
+        messages = [(i, (i + 3) % n, (i,)) for i in range(n)]
+        route(clique, messages)
+        assert clique.rounds_executed <= 4  # constant, not Theta(n)
+
+    def test_duplicate_pair_messages(self):
+        clique = CongestedClique(4)
+        messages = [(1, 2, (7,)), (1, 2, (8,))]
+        delivered = route(clique, messages)
+        payloads = sorted(p[1][0] for p in delivered[2])
+        assert payloads == [7, 8]
+
+    def test_precondition_violation(self):
+        n = 3
+        clique = CongestedClique(n)
+        # One sender with > n messages.
+        messages = [(0, i % n, (i,)) for i in range(n + 1)] + [
+            (0, 0, (99,)),
+            (0, 1, (98,)),
+            (0, 2, (97,)),
+        ]
+        with pytest.raises(RoutingError):
+            route(clique, messages)
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(RoutingError):
+            route(CongestedClique(3), [(0, 9, (1,))])
+
+    def test_accounting_charge_present(self):
+        clique = CongestedClique(4)
+        route(clique, [(0, 1, (5,))], phase="xyz")
+        assert any("xyz:accounting" == r.phase for r in clique.ledger)
+
+    def test_load_n_instance(self):
+        """Every vertex sends exactly n messages (the Lenzen regime)."""
+        n = 5
+        clique = CongestedClique(n)
+        messages = [
+            (src, dest, (src, dest)) for src in range(n) for dest in range(n)
+        ]
+        delivered = route(clique, messages)
+        for dest in range(n):
+            assert len(delivered[dest]) == n
+        # Two phases, no per-pair conflicts: a handful of rounds.
+        assert clique.rounds_executed <= 6
+
+
+class TestGatherSubgraph:
+    def test_rounds_proportional_to_edges(self):
+        ledger = RoundLedger()
+        edges = [(i, i + 1, 1.0) for i in range(500)]
+        rounds = gather_subgraph(100, edges, ledger)
+        assert rounds == 10.0
+        assert ledger.total == 10.0
+
+    def test_minimum_one_round(self):
+        ledger = RoundLedger()
+        assert gather_subgraph(100, [], ledger) == 1.0

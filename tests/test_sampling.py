@@ -1,0 +1,74 @@
+"""Tests for the sampled hierarchy (Section 3.2, Claims 14-16)."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import Hierarchy, sample_hierarchy
+
+
+class TestSampleHierarchy:
+    def test_nesting(self, rng):
+        h = sample_hierarchy(200, 3, rng)
+        for i in range(1, 4):
+            assert not (h.masks[i] & ~h.masks[i - 1]).any()
+
+    def test_s0_is_everything(self, rng):
+        h = sample_hierarchy(50, 2, rng)
+        assert h.masks[0].all()
+
+    def test_top_row_empty(self, rng):
+        h = sample_hierarchy(50, 2, rng)
+        assert not h.masks[3].any()
+
+    def test_levels_consistent(self, rng):
+        h = sample_hierarchy(100, 3, rng)
+        for v in range(100):
+            lv = h.levels[v]
+            assert h.masks[lv][v]
+            if lv + 1 <= h.r:
+                assert not h.masks[lv + 1][v]
+
+    def test_shapes(self, rng):
+        h = sample_hierarchy(70, 2, rng)
+        assert h.masks.shape == (4, 70)
+        assert h.n == 70
+        assert h.r == 2
+
+    def test_sr_size_concentrates(self):
+        """Claim 16: |S_r| = O(sqrt n) — statistical over many draws."""
+        n, r = 400, 2
+        sizes = [
+            sample_hierarchy(n, r, np.random.default_rng(seed)).sizes()[r]
+            for seed in range(30)
+        ]
+        assert np.mean(sizes) <= 3 * np.sqrt(n)
+        assert max(sizes) <= 6 * np.sqrt(n)
+
+    def test_expected_level_sizes(self):
+        """Claim 14: E|S_i| = n^{1 - (2^i - 1)/2^r} — loose statistical check."""
+        n, r = 900, 2
+        s1 = [
+            sample_hierarchy(n, r, np.random.default_rng(s)).sizes()[1]
+            for s in range(30)
+        ]
+        expected = n ** (1 - 1 / 4)
+        assert 0.5 * expected <= np.mean(s1) <= 1.6 * expected
+
+
+class TestFromMasks:
+    def test_rejects_non_nested(self):
+        masks = np.zeros((2, 4), dtype=bool)
+        masks[0, :2] = True
+        masks[1, 3] = True  # not a subset of row 0
+        with pytest.raises(ValueError, match="not a subset"):
+            Hierarchy.from_masks(masks)
+
+    def test_set_members_sorted(self, rng):
+        h = sample_hierarchy(60, 2, rng)
+        m = h.set_members(1)
+        assert (np.diff(m) > 0).all() or len(m) <= 1
+
+    def test_sizes_descending(self, rng):
+        h = sample_hierarchy(120, 3, rng)
+        sizes = h.sizes()
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,45 @@
+"""Moderate-scale trend tests (the largest runs in the suite)."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import build_emulator
+from repro.graph import generators as gen
+from repro.graph.distances import bfs_distances
+
+
+class TestScaleTrends:
+    def test_emulator_size_near_linear_at_n_1000(self):
+        """At n = 1000 the emulator must stay within the theorem bound and
+        near-linear edges-per-vertex — the O(n log log n) trend."""
+        g = gen.connected_erdos_renyi(1000, 3.0, np.random.default_rng(51))
+        res = build_emulator(g, eps=0.5, r=3, rng=np.random.default_rng(52))
+        bound = res.params.expected_edge_bound(g.n)
+        assert res.num_edges <= 4 * bound
+        assert res.num_edges / g.n <= 4.0
+
+    def test_edges_per_vertex_does_not_blow_up(self):
+        """edges/n across a 4x range of n stays within a 2x band."""
+        ratios = []
+        for n in (250, 1000):
+            g = gen.connected_erdos_renyi(n, 3.0, np.random.default_rng(n))
+            res = build_emulator(g, eps=0.5, r=3, rng=np.random.default_rng(n + 1))
+            ratios.append(res.num_edges / g.n)
+        assert max(ratios) <= 2.5 * min(ratios)
+
+    def test_emulator_sound_spot_check_at_scale(self):
+        """Spot-check soundness + stretch on sampled pairs at n = 800."""
+        g = gen.connected_erdos_renyi(800, 3.0, np.random.default_rng(53))
+        res = build_emulator(g, eps=0.5, r=2, rng=np.random.default_rng(54))
+        from repro.graph.distances import weighted_all_pairs
+
+        sample = [0, 100, 400, 799]
+        from repro.graph.distances import dijkstra as wdijkstra
+
+        for s in sample:
+            emu_d = wdijkstra(res.emulator, s)
+            exact = bfs_distances(g, s)
+            finite = np.isfinite(exact)
+            assert (emu_d[finite] >= exact[finite] - 1e-9).all()
+            bound = res.params.multiplicative * exact + res.params.beta
+            assert (emu_d[finite] <= bound[finite] + 1e-9).all()

@@ -1,0 +1,126 @@
+"""Tests for dense min-plus products."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances
+from repro.matmul import (
+    apsp_by_squaring,
+    density,
+    minplus_power,
+    minplus_product,
+    minplus_square,
+)
+
+
+def brute_force_minplus(a, b):
+    rows, inner = a.shape
+    cols = b.shape[1]
+    out = np.full((rows, cols), np.inf)
+    for i in range(rows):
+        for j in range(cols):
+            out[i, j] = min(a[i, k] + b[k, j] for k in range(inner))
+    return out
+
+
+class TestMinplusProduct:
+    def test_matches_brute_force(self, rng):
+        a = rng.integers(0, 10, (7, 5)).astype(float)
+        b = rng.integers(0, 10, (5, 6)).astype(float)
+        assert np.array_equal(minplus_product(a, b), brute_force_minplus(a, b))
+
+    def test_with_inf_entries(self, rng):
+        a = rng.integers(0, 10, (6, 6)).astype(float)
+        a[rng.random((6, 6)) < 0.5] = np.inf
+        assert np.array_equal(minplus_product(a, a), brute_force_minplus(a, a))
+
+    def test_blocking_independent_of_block_size(self, rng):
+        a = rng.integers(0, 10, (20, 20)).astype(float)
+        p1 = minplus_product(a, a, block=3)
+        p2 = minplus_product(a, a, block=64)
+        assert np.array_equal(p1, p2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            minplus_product(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_identity(self):
+        """The min-plus identity has 0 diagonal, inf elsewhere."""
+        ident = np.full((4, 4), np.inf)
+        np.fill_diagonal(ident, 0)
+        a = np.random.default_rng(0).integers(0, 9, (4, 4)).astype(float)
+        assert np.array_equal(minplus_product(a, ident), a)
+        assert np.array_equal(minplus_product(ident, a), a)
+
+
+class TestPowersAndSquaring:
+    def test_square_gives_two_hop_distances(self, small_er):
+        a = small_er.adjacency_matrix()
+        two_hop = minplus_square(a)
+        exact = all_pairs_distances(small_er)
+        mask = exact <= 2
+        assert np.array_equal(two_hop[mask], exact[mask])
+        assert (two_hop[~mask & np.isfinite(two_hop)] >= 2).all()
+
+    def test_power_hop_bound(self, small_path):
+        a = small_path.adjacency_matrix()
+        p4 = minplus_power(a, 4)
+        assert p4[0, 4] == 4
+        assert np.isinf(p4[0, 5])
+
+    def test_power_one_is_copy(self, triangle):
+        a = triangle.adjacency_matrix()
+        p = minplus_power(a, 1)
+        assert np.array_equal(p, a)
+        assert p is not a
+
+    def test_power_invalid(self, triangle):
+        with pytest.raises(ValueError):
+            minplus_power(triangle.adjacency_matrix(), 0)
+
+    def test_apsp_by_squaring_exact(self, family_graph):
+        dist, squarings = apsp_by_squaring(family_graph.adjacency_matrix())
+        exact = all_pairs_distances(family_graph)
+        assert np.array_equal(
+            np.nan_to_num(dist, posinf=-1), np.nan_to_num(exact, posinf=-1)
+        )
+
+    def test_squarings_log_diameter(self, small_path):
+        _, squarings = apsp_by_squaring(small_path.adjacency_matrix())
+        # Diameter 59: needs ceil(log2 59) = 6 squarings plus the fixpoint
+        # detection one.
+        assert 6 <= squarings <= 8
+
+
+class TestDensity:
+    def test_counts_finite_per_row(self):
+        m = np.array([[0.0, np.inf], [1.0, 2.0]])
+        assert density(m) == 1.5
+
+    def test_empty(self):
+        assert density(np.zeros((0, 0))) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=6), data=st.data())
+def test_property_minplus_associative(n, data):
+    """(A*B)*C == A*(B*C) over the tropical semiring."""
+    def draw_matrix():
+        vals = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=50) | st.just(None),
+                min_size=n * n,
+                max_size=n * n,
+            )
+        )
+        m = np.array(
+            [np.inf if v is None else float(v) for v in vals]
+        ).reshape(n, n)
+        return m
+
+    a, b, c = draw_matrix(), draw_matrix(), draw_matrix()
+    left = minplus_product(minplus_product(a, b), c)
+    right = minplus_product(a, minplus_product(b, c))
+    assert np.array_equal(left, right)

@@ -1,0 +1,166 @@
+"""Tests for the soft hitting set machinery (Section 5.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cliquesim import RoundLedger
+from repro.derand import (
+    BlockHashFamily,
+    SoftHittingInstance,
+    deterministic_soft_hitting_set,
+    is_soft_hitting_set,
+    random_soft_hitting_set,
+    sh_value,
+    total_miss_mass,
+)
+
+
+def make_instance(rng, n=200, num_sets=80, delta=15, extra=20):
+    universe = np.arange(n)
+    sets = [
+        rng.choice(n, size=delta + int(rng.integers(0, extra)), replace=False)
+        for _ in range(num_sets)
+    ]
+    return SoftHittingInstance(universe=universe, sets=sets, delta=delta)
+
+
+class TestShValue:
+    def test_hit_is_zero(self):
+        assert sh_value([1, 2, 3], {2}) == 0
+
+    def test_miss_is_size(self):
+        assert sh_value([1, 2, 3], {9}) == 3
+
+    def test_empty_set(self):
+        assert sh_value([], {1}) == 0
+
+
+class TestInstanceValidation:
+    def test_set_too_small(self):
+        with pytest.raises(ValueError, match="delta"):
+            SoftHittingInstance(np.arange(5), [np.array([0])], delta=2)
+
+    def test_element_outside_universe(self):
+        with pytest.raises(ValueError, match="outside"):
+            SoftHittingInstance(np.arange(3), [np.array([0, 7])], delta=1)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            SoftHittingInstance(np.arange(3), [], delta=0)
+
+
+class TestBlockHashFamily:
+    def test_block_bits(self):
+        fam = BlockHashFamily(universe_size=100, delta=16)
+        assert fam.block_bits == 4  # floor(log2 16)
+        assert fam.effective_probability == 1 / 16
+
+    def test_effective_probability_within_factor_two(self):
+        for delta in (3, 7, 20, 100):
+            fam = BlockHashFamily(universe_size=50, delta=delta)
+            p = fam.target_probability
+            assert p - 1e-12 <= fam.effective_probability < 2 * p
+
+    def test_seed_bits(self):
+        fam = BlockHashFamily(universe_size=10, delta=8)
+        assert fam.seed_bits == 30
+
+    def test_sampling_rate(self, rng):
+        fam = BlockHashFamily(universe_size=20000, delta=16)
+        member = fam.sample_membership(rng)
+        observed = member.mean()
+        assert observed == pytest.approx(1 / 16, rel=0.3)
+
+    def test_expected_miss_formula(self):
+        fam = BlockHashFamily(universe_size=100, delta=4)
+        p = fam.effective_probability
+        assert fam.expected_miss(10) == pytest.approx(10 * (1 - p) ** 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockHashFamily(universe_size=10, delta=0)
+        with pytest.raises(ValueError):
+            BlockHashFamily(universe_size=10, delta=2, c_prime=0)
+
+
+class TestDeterministicSoftHittingSet:
+    def test_properties_hold(self, rng):
+        inst = make_instance(rng)
+        z = deterministic_soft_hitting_set(inst)
+        assert is_soft_hitting_set(inst, z)
+
+    def test_beats_expectation(self, rng):
+        """Conditional expectations can only do as well as E[X+Y]: the
+        deterministic Z satisfies the combined objective bound."""
+        inst = make_instance(rng, n=150, num_sets=60, delta=10)
+        z = deterministic_soft_hitting_set(inst)
+        chi = inst.universe_size / (inst.delta**2 * inst.num_sets)
+        objective = len(z) + total_miss_mass(inst, z) * chi
+        # E[X] <= N/delta and E[Y·chi] <= N/(e·delta) roughly: bound by
+        # 2N/delta with slack.
+        assert objective <= 2.0 * inst.universe_size / inst.delta + 1
+
+    def test_deterministic_reproducible(self, rng):
+        inst = make_instance(rng)
+        z1 = deterministic_soft_hitting_set(inst)
+        z2 = deterministic_soft_hitting_set(inst)
+        assert np.array_equal(z1, z2)
+
+    def test_output_within_universe(self, rng):
+        universe = np.arange(100, 180)
+        sets = [universe[rng.choice(80, size=12, replace=False)] for _ in range(20)]
+        inst = SoftHittingInstance(universe=universe, sets=sets, delta=10)
+        z = deterministic_soft_hitting_set(inst)
+        assert set(z.tolist()) <= set(universe.tolist())
+        assert is_soft_hitting_set(inst, z)
+
+    def test_empty_universe(self):
+        inst = SoftHittingInstance(np.zeros(0, dtype=int), [], delta=1)
+        assert len(deterministic_soft_hitting_set(inst)) == 0
+
+    def test_rounds_charged(self, rng):
+        inst = make_instance(rng, n=60, num_sets=10, delta=5)
+        ledger = RoundLedger()
+        deterministic_soft_hitting_set(inst, n=1000, ledger=ledger)
+        assert ledger.total > 0
+
+    def test_no_log_factor_vs_plain_hitting(self, rng):
+        """The whole point of soft hitting sets: size O(N/delta), not
+        O(N log N / delta)."""
+        inst = make_instance(rng, n=400, num_sets=150, delta=20, extra=10)
+        z = deterministic_soft_hitting_set(inst)
+        assert len(z) <= 4 * inst.universe_size / inst.delta
+
+
+class TestRandomSoftHittingSet:
+    def test_usually_soft(self, rng):
+        successes = 0
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            inst = make_instance(local)
+            z = random_soft_hitting_set(inst, local)
+            if is_soft_hitting_set(inst, z, size_constant=6.0, miss_constant=6.0):
+                successes += 1
+        assert successes >= 7  # Lemma 56: constant probability per draw
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    delta=st.integers(min_value=2, max_value=12),
+    num_sets=st.integers(min_value=1, max_value=30),
+)
+def test_property_det_soft_hitting_always_valid(seed, delta, num_sets):
+    """Definition 42 holds for the deterministic construction on random
+    instances of any shape."""
+    rng = np.random.default_rng(seed)
+    n = 60
+    universe = np.arange(n)
+    sets = [
+        rng.choice(n, size=min(n, delta + int(rng.integers(0, 10))), replace=False)
+        for _ in range(num_sets)
+    ]
+    inst = SoftHittingInstance(universe=universe, sets=sets, delta=delta)
+    z = deterministic_soft_hitting_set(inst)
+    assert is_soft_hitting_set(inst, z)

@@ -1,0 +1,57 @@
+"""Tests for (S, d)-source detection (Theorem 11)."""
+
+import numpy as np
+import pytest
+
+from repro.cliquesim import RoundLedger
+from repro.graph import WeightedGraph, generators as gen
+from repro.graph.distances import bfs_distances, dijkstra
+from repro.toolkit import source_detection
+
+
+class TestSemantics:
+    def test_unweighted_equals_truncated_bfs(self, small_er):
+        wg = small_er.to_weighted()
+        sources = [0, 7, 19]
+        out, _ = source_detection(wg, sources, 3)
+        for i, s in enumerate(sources):
+            ref = bfs_distances(small_er, s, max_dist=3)
+            assert np.array_equal(
+                np.nan_to_num(out[i], posinf=-1), np.nan_to_num(ref, posinf=-1)
+            )
+
+    def test_large_d_equals_dijkstra(self, small_grid):
+        wg = small_grid.to_weighted()
+        out, _ = source_detection(wg, [0], small_grid.n)
+        assert np.allclose(out[0], dijkstra(wg, 0))
+
+    def test_weighted_hop_bound(self):
+        wg = WeightedGraph(3)
+        wg.add_edges_from([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+        out1, _ = source_detection(wg, [0], 1)
+        assert out1[0, 2] == 10.0
+        out2, _ = source_detection(wg, [0], 2)
+        assert out2[0, 2] == 2.0
+
+    def test_no_sources(self, small_er):
+        out, _ = source_detection(small_er.to_weighted(), [], 3)
+        assert out.shape == (0, small_er.n)
+
+    def test_negative_d(self, small_er):
+        with pytest.raises(ValueError):
+            source_detection(small_er.to_weighted(), [0], -1)
+
+
+class TestRounds:
+    def test_linear_in_d(self, small_er):
+        wg = small_er.to_weighted()
+        _, r1 = source_detection(wg, [0], 5)
+        _, r2 = source_detection(wg, [0], 10)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_ledger_charge(self, small_er):
+        ledger = RoundLedger()
+        _, rounds = source_detection(
+            small_er.to_weighted(), [0, 1], 4, ledger=ledger, phase="sd"
+        )
+        assert ledger.breakdown() == {"sd": rounds}

@@ -1,0 +1,66 @@
+"""Tests for emulator-to-spanner extraction."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import build_emulator, build_emulator_cc, emulator_to_spanner
+from repro.graph import WeightedGraph, generators as gen
+from repro.graph.distances import all_pairs_distances
+
+
+class TestEmulatorToSpanner:
+    def test_is_subgraph(self, family_graph, rng):
+        res = build_emulator(family_graph, eps=0.5, r=2, rng=rng)
+        sp = emulator_to_spanner(family_graph, res.emulator)
+        for u, v in sp.spanner.edges():
+            assert family_graph.has_edge(int(u), int(v))
+
+    def test_inherits_stretch(self, family_graph, rng):
+        res = build_emulator(family_graph, eps=0.5, r=2, rng=rng)
+        sp = emulator_to_spanner(family_graph, res.emulator)
+        exact = all_pairs_distances(family_graph)
+        sp_dist = all_pairs_distances(sp.spanner)
+        finite = np.isfinite(exact)
+        assert (sp_dist[finite] >= exact[finite] - 1e-9).all()
+        bound = res.params.multiplicative * exact + res.params.beta
+        assert (sp_dist[finite] <= bound[finite] + 1e-9).all()
+
+    def test_spanner_at_most_emulator_distance(self, rng):
+        """Expansion can only shorten paths vs the emulator."""
+        from repro.graph.distances import weighted_all_pairs
+
+        g = gen.make_family("grid", 64, seed=9)
+        res = build_emulator_cc(g, eps=0.5, r=2, rng=rng)
+        sp = emulator_to_spanner(g, res.emulator)
+        emu_dist = weighted_all_pairs(res.emulator)
+        sp_dist = all_pairs_distances(sp.spanner)
+        finite = np.isfinite(emu_dist)
+        assert (sp_dist[finite] <= emu_dist[finite] + 1e-9).all()
+
+    def test_unit_edges_kept_directly(self, rng):
+        g = gen.path_graph(30)
+        res = build_emulator(g, eps=0.5, r=2, rng=rng)
+        sp = emulator_to_spanner(g, res.emulator)
+        # A path's spanner must be the path itself (only way to connect).
+        assert sp.spanner.m == g.m
+
+    def test_size_bounded_by_weight_sum(self, rng):
+        g = gen.make_family("er_sparse", 100, seed=13)
+        res = build_emulator(g, eps=0.5, r=2, rng=rng)
+        weight_sum = sum(w for _, _, w in res.emulator.edges())
+        sp = emulator_to_spanner(g, res.emulator)
+        assert sp.num_edges <= weight_sum + res.emulator.m
+
+    def test_mismatched_sizes(self, rng):
+        g = gen.path_graph(5)
+        with pytest.raises(ValueError):
+            emulator_to_spanner(g, WeightedGraph(9))
+
+    def test_expanded_count(self, rng):
+        g = gen.make_family("er_sparse", 80, seed=3)
+        res = build_emulator(g, eps=0.5, r=2, rng=rng)
+        sp = emulator_to_spanner(g, res.emulator)
+        non_graph_edges = sum(
+            1 for u, v, _ in res.emulator.edges() if not g.has_edge(u, v)
+        )
+        assert sp.expanded_edges == non_graph_edges

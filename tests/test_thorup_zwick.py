@@ -1,0 +1,85 @@
+"""Tests for the TZ emulator and Appendix A's containment claim."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import (
+    build_emulator,
+    build_tz_emulator,
+    sample_hierarchy,
+)
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestTZEmulator:
+    def test_soundness(self, family_graph, rng):
+        tz = build_tz_emulator(family_graph, r=2, rng=rng)
+        exact = all_pairs_distances(family_graph)
+        emu = weighted_all_pairs(tz.emulator)
+        finite = np.isfinite(exact)
+        assert (emu[finite] >= exact[finite] - 1e-9).all()
+
+    def test_connected_input_connected_output(self, small_grid, rng):
+        tz = build_tz_emulator(small_grid, r=2, rng=rng)
+        emu = weighted_all_pairs(tz.emulator)
+        assert np.isfinite(emu).all()
+
+    def test_edge_weights_exact(self, small_er, rng):
+        tz = build_tz_emulator(small_er, r=2, rng=rng)
+        exact = all_pairs_distances(small_er)
+        for u, v, w in tz.emulator.edges():
+            assert w == pytest.approx(exact[u, v])
+
+    def test_level0_vertices_keep_closer_peers(self, small_path, rng):
+        """A level-0 vertex connects to every vertex strictly closer than
+        its pivot — on a path with no sampled vertices nearby that means
+        its graph neighbours at least."""
+        tz = build_tz_emulator(small_path, r=2, rng=rng)
+        emu = weighted_all_pairs(tz.emulator)
+        exact = all_pairs_distances(small_path)
+        # Stretch is finite and bounded for a connected graph.
+        assert np.isfinite(emu).all()
+        assert (emu >= exact - 1e-9).all()
+
+
+class TestAppendixAContainment:
+    """Appendix A: 'all the edges taken to our emulator, for any choice of
+    eps, are contained in the emulator built by TZ' (same hierarchy)."""
+
+    @pytest.mark.parametrize("eps", [0.1, 0.3, 0.5, 0.9])
+    def test_containment_er(self, eps, rng):
+        g = gen.make_family("er_sparse", 90, seed=17)
+        h = sample_hierarchy(g.n, 2, rng)
+        ours = build_emulator(g, eps=eps, r=2, hierarchy=h, rescale=False)
+        tz = build_tz_emulator(g, r=2, hierarchy=h)
+        tz_edges = {(u, v) for u, v, _ in tz.emulator.edges()}
+        our_edges = {(u, v) for u, v, _ in ours.emulator.edges()}
+        assert our_edges <= tz_edges
+
+    @pytest.mark.parametrize("family", ["grid", "path", "tree"])
+    def test_containment_families(self, family, rng):
+        g = gen.make_family(family, 80, seed=23)
+        h = sample_hierarchy(g.n, 2, rng)
+        ours = build_emulator(g, eps=0.4, r=2, hierarchy=h, rescale=False)
+        tz = build_tz_emulator(g, r=2, hierarchy=h)
+        tz_edges = {(u, v) for u, v, _ in tz.emulator.edges()}
+        our_edges = {(u, v) for u, v, _ in ours.emulator.edges()}
+        assert our_edges <= tz_edges
+
+    def test_weights_agree_on_shared_edges(self, rng):
+        g = gen.make_family("er_sparse", 70, seed=29)
+        h = sample_hierarchy(g.n, 2, rng)
+        ours = build_emulator(g, eps=0.5, r=2, hierarchy=h, rescale=False)
+        tz = build_tz_emulator(g, r=2, hierarchy=h)
+        for u, v, w in ours.emulator.edges():
+            assert tz.emulator.weight(u, v) == pytest.approx(w)
+
+    def test_tz_usually_strictly_larger(self, rng):
+        """TZ is global; the localized emulator should typically be a
+        proper subset (it is universal across eps at the cost of size)."""
+        g = gen.make_family("er_sparse", 100, seed=31)
+        h = sample_hierarchy(g.n, 2, rng)
+        ours = build_emulator(g, eps=0.3, r=2, hierarchy=h, rescale=False)
+        tz = build_tz_emulator(g, r=2, hierarchy=h)
+        assert tz.num_edges >= ours.num_edges

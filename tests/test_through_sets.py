@@ -1,0 +1,47 @@
+"""Tests for distance-through-sets (Theorem 35)."""
+
+import numpy as np
+
+from repro.cliquesim import RoundLedger
+from repro.toolkit import distance_through_sets
+
+
+def brute_force(masked):
+    n, q = masked.shape
+    out = np.full((n, n), np.inf)
+    for u in range(n):
+        for v in range(n):
+            for w in range(q):
+                out[u, v] = min(out[u, v], masked[u, w] + masked[v, w])
+    return out
+
+
+class TestThroughSets:
+    def test_matches_brute_force(self, rng):
+        masked = rng.integers(0, 10, (8, 5)).astype(float)
+        masked[rng.random((8, 5)) < 0.4] = np.inf
+        out, _ = distance_through_sets(masked)
+        assert np.array_equal(out, brute_force(masked))
+
+    def test_empty_sets_give_inf(self):
+        masked = np.full((4, 3), np.inf)
+        out, _ = distance_through_sets(masked)
+        assert np.isinf(out).all()
+
+    def test_symmetric_output(self, rng):
+        masked = rng.integers(0, 9, (6, 4)).astype(float)
+        out, _ = distance_through_sets(masked)
+        assert np.array_equal(out, out.T)
+
+    def test_single_shared_member(self):
+        masked = np.array([[2.0, np.inf], [np.inf, np.inf], [3.0, 1.0]])
+        out, _ = distance_through_sets(masked)
+        assert out[0, 2] == 5.0  # through member 0
+        assert np.isinf(out[0, 1])
+
+    def test_ledger_charged(self, rng):
+        masked = rng.integers(0, 5, (5, 3)).astype(float)
+        ledger = RoundLedger()
+        _, rounds = distance_through_sets(masked, ledger=ledger, phase="ts")
+        assert ledger.breakdown() == {"ts": rounds}
+        assert rounds >= 1.0

@@ -1,0 +1,112 @@
+"""Failure-injection tests: the verifiers must catch corrupted structures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_emulator, verify_estimates, verify_hopset
+from repro.emulator import build_emulator
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances
+from repro.toolkit import build_bounded_hopset
+
+
+class TestVerifyEmulator:
+    def test_valid_emulator_passes(self, small_er, rng):
+        res = build_emulator(small_er, eps=0.5, r=2, rng=rng)
+        violations = verify_emulator(
+            small_er, res.emulator, res.params.multiplicative, res.params.beta
+        )
+        assert violations == []
+
+    def test_underweight_edge_detected(self, small_er, rng):
+        """Inject a weight *below* the true distance: the lower-bound side
+        must flag it."""
+        res = build_emulator(small_er, eps=0.5, r=2, rng=rng)
+        exact = all_pairs_distances(small_er)
+        far = np.unravel_index(
+            np.argmax(np.where(np.isfinite(exact), exact, -1)), exact.shape
+        )
+        corrupted = res.emulator.copy()
+        corrupted.add_edge(int(far[0]), int(far[1]), 0.5)  # impossible shortcut
+        violations = verify_emulator(
+            small_er, corrupted, res.params.multiplicative, res.params.beta
+        )
+        assert violations
+        assert any(v.observed < v.exact for v in violations)
+
+    def test_removed_edges_detected(self, rng):
+        """Deleting emulator edges breaks the upper bound on some pair."""
+        g = gen.path_graph(60)
+        res = build_emulator(g, eps=0.5, r=2, rng=rng)
+        from repro.graph import WeightedGraph
+
+        crippled = WeightedGraph(g.n)  # empty emulator
+        violations = verify_emulator(
+            g, crippled, res.params.multiplicative, res.params.beta
+        )
+        assert violations
+        assert all(v.observed > v.bound for v in violations)
+
+    def test_max_violations_respected(self, rng):
+        g = gen.path_graph(40)
+        from repro.graph import WeightedGraph
+
+        violations = verify_emulator(g, WeightedGraph(g.n), 1.0, 0.0,
+                                     max_violations=3)
+        assert len(violations) == 3
+
+
+class TestVerifyHopset:
+    def test_valid_hopset_passes(self, rng):
+        g = gen.path_graph(80)
+        hs = build_bounded_hopset(g, eps=0.5, t=32, rng=rng)
+        assert verify_hopset(g, hs.hopset, hs.beta, 0.5, 32) == []
+
+    def test_beta_too_small_detected(self, rng):
+        """Claiming a much smaller hop bound than built must fail on a
+        long path (the hopset genuinely needs its beta hops)."""
+        g = gen.path_graph(120)
+        hs = build_bounded_hopset(g, eps=0.5, t=64, rng=rng)
+        violations = verify_hopset(g, hs.hopset, beta=1, eps=0.5, t=64)
+        assert violations
+
+    def test_empty_hopset_fails_t_range(self, rng):
+        from repro.graph import WeightedGraph
+
+        g = gen.path_graph(100)
+        # beta = 4 hops, pairs up to t = 32: the raw graph can't do it.
+        violations = verify_hopset(g, WeightedGraph(g.n), beta=4, eps=0.5, t=32)
+        assert violations
+
+    def test_sources_subset(self, rng):
+        g = gen.path_graph(60)
+        hs = build_bounded_hopset(g, eps=0.5, t=16, rng=rng)
+        assert verify_hopset(g, hs.hopset, hs.beta, 0.5, 16, sources=[0, 30]) == []
+
+
+class TestVerifyEstimates:
+    def test_passes_exact(self):
+        exact = np.array([[0.0, 1.0], [1.0, 0.0]])
+        assert verify_estimates(exact, exact.copy(), 1.0) == []
+
+    def test_catches_overshoot(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        est = np.array([[0.0, 5.0], [2.0, 0.0]])
+        violations = verify_estimates(exact, est, 2.0)
+        assert len(violations) == 1
+        assert violations[0].u == 0 and violations[0].v == 1
+
+    def test_catches_undershoot(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        est = np.array([[0.0, 1.0], [2.0, 0.0]])
+        assert verify_estimates(exact, est, 2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            verify_estimates(np.zeros((2, 2)), np.zeros((3, 3)), 1.0)
+
+    def test_violation_str(self):
+        exact = np.array([[0.0, 2.0], [2.0, 0.0]])
+        est = np.array([[0.0, 9.0], [2.0, 0.0]])
+        v = verify_estimates(exact, est, 2.0)[0]
+        assert "pair (0, 1)" in str(v)

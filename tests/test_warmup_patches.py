@@ -1,0 +1,72 @@
+"""Failure-injection tests for the warm-up emulator's w.h.p. patches."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import build_warmup_emulator
+from repro.graph import generators as gen
+from repro.graph.distances import all_pairs_distances, weighted_all_pairs
+
+
+class TestWarmupPatches:
+    def test_empty_s1_forces_high_degree_patch(self, rng):
+        """With S_1 = empty, every high-degree vertex misses its S_1
+        neighbour and must fall back to keeping all incident edges."""
+        g = gen.star_graph(120)  # hub degree 119 >> n^{1/4} log n
+        n = g.n
+        empty = np.zeros(n, dtype=bool)
+        w = build_warmup_emulator(g, eps=0.3, rng=rng, s1_mask=empty, s2_mask=empty)
+        assert w.stats["patched_high_degree"] >= 1
+        # Output still sound and connected.
+        exact = all_pairs_distances(g)
+        emu = weighted_all_pairs(w.emulator)
+        assert np.isfinite(emu).all()
+        assert (emu >= exact - 1e-9).all()
+
+    def test_dense_s1_ball_without_s2_patches(self, rng):
+        """S_1 = V and S_2 = empty: every S_1 ball is over the sqrt(n)logn
+        bound on a dense graph, triggering the ball patch."""
+        g = gen.complete_graph(40)
+        n = g.n
+        all_mask = np.ones(n, dtype=bool)
+        empty = np.zeros(n, dtype=bool)
+        w = build_warmup_emulator(
+            g, eps=0.3, rng=rng, s1_mask=all_mask, s2_mask=empty
+        )
+        assert w.stats["patched_s1_ball"] >= 1
+        exact = all_pairs_distances(g)
+        emu = weighted_all_pairs(w.emulator)
+        assert (emu[np.isfinite(exact)] >= exact[np.isfinite(exact)] - 1e-9).all()
+
+    def test_s2_not_subset_rejected(self, rng):
+        g = gen.path_graph(10)
+        s1 = np.zeros(10, dtype=bool)
+        s2 = np.ones(10, dtype=bool)
+        with pytest.raises(ValueError, match="subset"):
+            build_warmup_emulator(g, eps=0.3, rng=rng, s1_mask=s1, s2_mask=s2)
+
+    def test_s2_everywhere_gives_near_clique(self, rng):
+        """S_2 = S_1 = V: rule 3 connects everything to everything —
+        stretch collapses to exactly 1 (at quadratic size)."""
+        g = gen.path_graph(30)
+        all_mask = np.ones(30, dtype=bool)
+        w = build_warmup_emulator(
+            g, eps=0.3, rng=rng, s1_mask=all_mask, s2_mask=all_mask
+        )
+        exact = all_pairs_distances(g)
+        emu = weighted_all_pairs(w.emulator)
+        assert np.array_equal(emu, exact)
+
+    def test_patches_preserve_stretch_guarantee(self, rng):
+        """Even under fully adversarial sampling the patched emulator
+        keeps the (1+4eps)d + additive guarantee."""
+        g = gen.make_family("ring_of_cliques", 80, seed=3)
+        n = g.n
+        empty = np.zeros(n, dtype=bool)
+        eps = 0.25
+        w = build_warmup_emulator(g, eps=eps, rng=rng, s1_mask=empty, s2_mask=empty)
+        exact = all_pairs_distances(g)
+        emu = weighted_all_pairs(w.emulator)
+        finite = np.isfinite(exact)
+        bound = (1 + 4 * eps) * exact + w.additive_bound()
+        assert (emu[finite] <= bound[finite] + 1e-9).all()

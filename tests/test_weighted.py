@@ -1,0 +1,89 @@
+"""Tests for the integer-weight subdivision extension."""
+
+import numpy as np
+import pytest
+
+from repro.apsp import apsp_weighted, mssp_weighted, subdivide
+from repro.graph import WeightedGraph, generators as gen
+from repro.graph.distances import weighted_all_pairs
+
+
+def weighted_instance(rng, n=40, max_w=4):
+    base = gen.connected_erdos_renyi(n, 3.0, rng)
+    wg = WeightedGraph(n)
+    for u, v in base.edges():
+        wg.add_edge(int(u), int(v), float(rng.integers(1, max_w + 1)))
+    return wg
+
+
+class TestSubdivide:
+    def test_unit_weights_unchanged(self):
+        wg = WeightedGraph(4)
+        wg.add_edges_from([(0, 1, 1.0), (1, 2, 1.0)])
+        sub = subdivide(wg)
+        assert sub.graph.n == 4
+        assert sub.blowup == 0
+
+    def test_weight_three_adds_two_vertices(self):
+        wg = WeightedGraph(2)
+        wg.add_edge(0, 1, 3.0)
+        sub = subdivide(wg)
+        assert sub.graph.n == 4
+        assert sub.graph.m == 3
+        # Distance 0 -> 1 in the subdivision equals the weight.
+        from repro.graph.distances import bfs_distances
+
+        assert bfs_distances(sub.graph, 0)[1] == 3
+
+    def test_distances_preserved(self, rng):
+        wg = weighted_instance(rng)
+        sub = subdivide(wg)
+        from repro.graph.distances import all_pairs_distances
+
+        exact_w = weighted_all_pairs(wg)
+        exact_sub = all_pairs_distances(sub.graph)[: wg.n, : wg.n]
+        assert np.allclose(
+            np.nan_to_num(exact_w, posinf=-1), np.nan_to_num(exact_sub, posinf=-1)
+        )
+
+    def test_rejects_non_integer(self):
+        wg = WeightedGraph(2)
+        wg.add_edge(0, 1, 1.5)
+        with pytest.raises(ValueError, match="integer"):
+            subdivide(wg)
+
+    def test_rejects_zero_weight(self):
+        wg = WeightedGraph(2)
+        # WeightedGraph itself rejects negatives; zero passes to subdivide.
+        wg._adj[0][1] = 0.0
+        wg._adj[1][0] = 0.0
+        with pytest.raises(ValueError):
+            subdivide(wg)
+
+
+class TestWeightedAlgorithms:
+    def test_mssp_weighted_guarantee(self, rng):
+        wg = weighted_instance(rng, n=40)
+        sources = [0, 10, 20]
+        exact = weighted_all_pairs(wg, sources=sources)
+        res = mssp_weighted(wg, sources, eps=0.5, r=2, rng=rng)
+        assert res.estimates.shape == (3, wg.n)
+        finite = np.isfinite(exact) & (exact > 0)
+        assert (res.estimates[finite] >= exact[finite] - 1e-9).all()
+        assert (res.estimates[finite] / exact[finite]).max() <= 1.5 + 1e-9
+
+    def test_apsp_weighted_guarantee(self, rng):
+        wg = weighted_instance(rng, n=35)
+        exact = weighted_all_pairs(wg)
+        res = apsp_weighted(wg, eps=0.5, r=2, rng=rng)
+        assert res.estimates.shape == (wg.n, wg.n)
+        finite = np.isfinite(exact)
+        assert (res.estimates[finite] >= exact[finite] - 1e-9).all()
+        bound = res.multiplicative * exact + res.additive
+        assert (res.estimates[finite] <= bound[finite] + 1e-9).all()
+
+    def test_blowup_reported(self, rng):
+        wg = weighted_instance(rng, n=30, max_w=3)
+        res = apsp_weighted(wg, eps=0.5, r=2, rng=rng)
+        assert res.stats["blowup"] >= 0
+        assert res.stats["subdivided_n"] == 30 + res.stats["blowup"]
