@@ -1,0 +1,174 @@
+"""E16 — old-vs-new kernel layer (DESIGN.md §2/§5): wall-clock speedup of
+the vectorized CSR kernels over the reference Python-loop implementations
+at n ∈ {256, 512, 1024}.
+
+Writes the structured numbers both to ``benchmarks/results/E16.json``
+(via :func:`conftest.record_experiment`'s JSON mode) and to the repo-root
+``BENCH_kernels.json`` — the perf-trajectory file CI tracks across
+commits.  Runnable directly (``python benchmarks/bench_kernels_vectorized.py``)
+or through pytest.
+"""
+
+import json
+import math
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import record_experiment  # noqa: E402
+from repro import kernels  # noqa: E402
+from repro.analysis import format_table  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+from repro.kernels import reference as ref  # noqa: E402
+from repro.toolkit import kd_nearest_bfs  # noqa: E402
+
+SIZES = (256, 512, 1024)
+ROOT_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+
+
+def best_of(fn, repeats=3):
+    """Best wall-clock of ``repeats`` runs (min filters scheduler noise)."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sparse_minplus_case(n, rng):
+    """Random min-plus operands at the paper's engineered density
+    rho ~ n^{1/4} finite entries per row."""
+    rho = n ** 0.25
+    m = rng.integers(1, 50, (n, n)).astype(float)
+    m[rng.random((n, n)) > rho / n] = np.inf
+    return m
+
+
+def run(repeats=3):
+    rng = np.random.default_rng(2020)
+    results = []
+
+    for n in SIZES:
+        s = sparse_minplus_case(n, rng)
+        new_t = best_of(lambda: kernels.minplus_csr(s, s), repeats)
+        old_t = best_of(lambda: ref.minplus_reference(s, s), repeats)
+        results.append(
+            {
+                "kernel": "sparse_minplus",
+                "n": n,
+                "rho_per_row": round(float(np.isfinite(s).sum() / n), 2),
+                "reference_s": old_t,
+                "vectorized_s": new_t,
+                "speedup": old_t / new_t,
+            }
+        )
+
+    for n in SIZES:
+        g = gen.make_family("er_sparse", n, seed=61)
+        k, d = max(8, math.ceil(n ** 0.25)), 8
+        new_t = best_of(lambda: kd_nearest_bfs(g, k, d), repeats)
+
+        def old_kd():
+            with kernels.force_backend("reference"):
+                kd_nearest_bfs(g, k, d)
+
+        old_t = best_of(old_kd, repeats)
+        results.append(
+            {
+                "kernel": "kd_nearest",
+                "n": n,
+                "k": k,
+                "d": d,
+                "reference_s": old_t,
+                "vectorized_s": new_t,
+                "speedup": old_t / new_t,
+            }
+        )
+
+    for n in SIZES:
+        g = gen.make_family("er_sparse", n, seed=61)
+        args = (g.indptr, g.indices, g.n, [0])
+        new_t = best_of(lambda: kernels.multi_source_bfs(*args), repeats)
+        old_t = best_of(lambda: ref.multi_source_bfs_reference(*args), repeats)
+        results.append(
+            {
+                "kernel": "multi_source_bfs",
+                "n": n,
+                "reference_s": old_t,
+                "vectorized_s": new_t,
+                "speedup": old_t / new_t,
+            }
+        )
+
+    for n in SIZES:
+        m = rng.integers(0, 100, (n, n)).astype(float)
+        rho = max(8, math.ceil(n ** 0.25))
+        new_t = best_of(lambda: kernels.filter_rows(m, rho), repeats)
+        old_t = best_of(lambda: ref.filter_rows_reference(m, rho), repeats)
+        results.append(
+            {
+                "kernel": "filter_rows",
+                "n": n,
+                "rho": rho,
+                "reference_s": old_t,
+                "vectorized_s": new_t,
+                "speedup": old_t / new_t,
+            }
+        )
+
+    return results
+
+
+def persist(results):
+    rows = [
+        [
+            r["kernel"],
+            r["n"],
+            f"{r['reference_s'] * 1e3:.2f}",
+            f"{r['vectorized_s'] * 1e3:.2f}",
+            f"{r['speedup']:.1f}x",
+        ]
+        for r in results
+    ]
+    table = format_table(
+        ["kernel", "n", "reference (ms)", "vectorized (ms)", "speedup"], rows
+    )
+    record_experiment(
+        "E16", "vectorized kernel layer vs reference loops", table,
+        payload=results,
+    )
+    with open(ROOT_JSON, "w") as fh:
+        json.dump({"benchmark": "kernels_vectorized", "results": results},
+                  fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return table
+
+
+def test_vectorized_kernels_speedup():
+    """Acceptance floor: >= 5x on sparse min-plus at n=512 (density
+    ~ n^0.25) and >= 3x on (k, d)-nearest at n=1024.
+
+    Wall-clock floors are load-sensitive, so a run that misses them is
+    retried once with more repetitions before failing.
+    """
+    def floors_met(by):
+        return by[("sparse_minplus", 512)] >= 5.0 and by[("kd_nearest", 1024)] >= 3.0
+
+    results = run()
+    by = {(r["kernel"], r["n"]): r["speedup"] for r in results}
+    if not floors_met(by):
+        results = run(repeats=7)
+        by = {(r["kernel"], r["n"]): r["speedup"] for r in results}
+    persist(results)
+    assert by[("sparse_minplus", 512)] >= 5.0
+    assert by[("kd_nearest", 1024)] >= 3.0
+
+
+if __name__ == "__main__":
+    persist(run())

@@ -1,12 +1,16 @@
 """Shared helpers for the benchmark harness.
 
-Each benchmark regenerates one experiment from DESIGN.md's index (E1-E12)
-— the measurable form of the paper's theorem claims (the paper itself has
-no tables/figures; see DESIGN.md §2).  Every bench prints its table and
-appends it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
-be refreshed from a run.
+Each benchmark regenerates one experiment — the measurable form of the
+paper's theorem claims (the paper itself has no tables/figures; DESIGN.md
+§4 indexes the experiments).  Every bench prints its table and persists it
+to ``benchmarks/results/<experiment>.txt``; benches that pass a
+``payload`` also write machine-readable
+``benchmarks/results/<experiment>.json`` so perf trajectories can be
+tracked across commits (``bench_kernels_vectorized.py`` additionally
+writes the repo-root ``BENCH_kernels.json``).
 """
 
+import json
 import os
 import sys
 
@@ -18,8 +22,15 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def record_experiment(experiment_id: str, title: str, table: str) -> None:
-    """Print and persist one experiment's output table."""
+def record_experiment(
+    experiment_id: str, title: str, table: str, payload=None
+) -> None:
+    """Print and persist one experiment's output table.
+
+    ``payload`` (any JSON-serializable object) additionally writes
+    ``results/<experiment_id>.json`` with the structured numbers behind
+    the table — the machine-readable mode CI and perf tracking consume.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     banner = f"== {experiment_id}: {title} =="
     text = f"{banner}\n{table}\n"
@@ -27,6 +38,16 @@ def record_experiment(experiment_id: str, title: str, table: str) -> None:
     path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
     with open(path, "w") as fh:
         fh.write(text)
+    if payload is not None:
+        json_path = os.path.join(RESULTS_DIR, f"{experiment_id}.json")
+        with open(json_path, "w") as fh:
+            json.dump(
+                {"experiment": experiment_id, "title": title, "data": payload},
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+            fh.write("\n")
 
 
 @pytest.fixture

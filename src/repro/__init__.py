@@ -12,9 +12,13 @@ The public API re-exports the main entry points:
 * toolkit (Appendix B): :func:`kd_nearest`, :func:`source_detection`,
   :func:`build_bounded_hopset`, :func:`distance_through_sets`;
 * derandomization (Section 5): :func:`deterministic_soft_hitting_set`;
-* baselines: :func:`exact_apsp`, :func:`apsp_squaring`, :func:`spanner_apsp`.
+* baselines: :func:`exact_apsp`, :func:`apsp_squaring`, :func:`spanner_apsp`;
+* hot-path substrate: :mod:`repro.kernels` — the vectorized CSR compute
+  layer every min-plus product, BFS, and top-``k`` filter runs on
+  (see DESIGN.md).
 """
 
+from . import kernels
 from .graph import Graph, WeightedGraph, generators
 from .cliquesim import CongestedClique, RoundLedger, costs
 from .emulator import (
@@ -57,6 +61,7 @@ from .analysis import StretchReport, evaluate_stretch
 __version__ = "1.0.0"
 
 __all__ = [
+    "kernels",
     "Graph",
     "WeightedGraph",
     "generators",

@@ -23,8 +23,8 @@ def format_row(values: Sequence[object], widths: Sequence[int]) -> str:
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
-    """A fixed-width table with a header rule, ready for stdout or
-    EXPERIMENTS.md code blocks."""
+    """A fixed-width table with a header rule, ready for stdout or the
+    ``benchmarks/results/`` experiment records (DESIGN.md §4)."""
     rows = [list(r) for r in rows]
     widths: List[int] = []
     for col, header in enumerate(headers):

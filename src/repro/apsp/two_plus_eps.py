@@ -149,11 +149,9 @@ def apsp_two_plus_eps(
     np.minimum(delta, through_nk, out=delta)
 
     # Line 4-7: pivots A over full (k, t)-neighbourhoods of G'.
-    full_rows = [
-        np.flatnonzero(np.isfinite(nk[v])).tolist()
-        for v in range(n)
-        if np.isfinite(nk[v]).sum() >= k
-    ]
+    nk_finite = np.isfinite(nk)
+    full_vertices = np.flatnonzero(nk_finite.sum(axis=1) >= k)
+    full_rows = [np.flatnonzero(nk_finite[v]).tolist() for v in full_vertices]
     if not full_rows:
         a_set = np.zeros(0, dtype=np.int64)
     elif deterministic:
@@ -221,11 +219,11 @@ def apsp_two_plus_eps(
     w2 = np.full((n, n), np.inf)
     if len(gpe):
         lo_mask = gp_degrees <= low_thresh
-        for u, v in gpe:
-            if lo_mask[u]:
-                w2[u, v] = 1.0
-            if lo_mask[v]:
-                w2[v, u] = 1.0
+        eu, ev = gpe[:, 0], gpe[:, 1]
+        from_lo = lo_mask[eu]
+        w2[eu[from_lo], ev[from_lo]] = 1.0
+        to_lo = lo_mask[ev]
+        w2[ev[to_lo], eu[to_lo]] = 1.0
     prod12, _ = sparse_minplus_with_cost(
         w1, w2, n, ledger=ledger, phase="apsp2:matmul-W1W2"
     )
@@ -257,40 +255,40 @@ def apsp_two_plus_eps(
 def _patch_neighbour_hitting(g: Graph, s_set: np.ndarray, high: np.ndarray) -> np.ndarray:
     """Guarantee every listed vertex has a neighbour in the set (the
     deterministic w.h.p. fix-up)."""
-    chosen = set(int(s) for s in s_set)
+    chosen = np.zeros(g.n, dtype=bool)
+    chosen[s_set] = True
     for v in high:
         nbrs = g.neighbors(int(v))
-        if nbrs.size and not any(int(u) in chosen for u in nbrs):
-            chosen.add(int(nbrs[0]))
-    return np.asarray(sorted(chosen), dtype=np.int64)
+        if nbrs.size and not chosen[nbrs].any():
+            chosen[nbrs[0]] = True
+    return np.flatnonzero(chosen).astype(np.int64)
 
 
 def _patch_nearest_hitting(a_set: np.ndarray, nk: np.ndarray, k: int) -> np.ndarray:
     """Guarantee every full ``(k, t)``-row contains a pivot."""
-    chosen = set(int(a) for a in a_set)
-    for v in range(nk.shape[0]):
-        finite = np.flatnonzero(np.isfinite(nk[v]))
-        if finite.size < k:
-            continue
-        if not any(int(u) in chosen for u in finite):
-            order = np.lexsort((finite, nk[v][finite]))
-            chosen.add(int(finite[order[0]]))
-    return np.asarray(sorted(chosen), dtype=np.int64)
+    n = nk.shape[0]
+    chosen = np.zeros(n, dtype=bool)
+    chosen[a_set] = True
+    finite_mask = np.isfinite(nk)
+    for v in np.flatnonzero(finite_mask.sum(axis=1) >= k):
+        finite = np.flatnonzero(finite_mask[v])
+        if not chosen[finite].any():
+            # argmin's first-hit rule = smallest column id on ties.
+            chosen[finite[np.argmin(nk[v, finite])]] = True
+    return np.flatnonzero(chosen).astype(np.int64)
 
 
 def _closest_pivot(nk: np.ndarray, a_set: np.ndarray) -> np.ndarray:
     """``p_A(u)``: the closest ``A``-member within the ``(k, t)``-nearest
-    of each vertex, or -1."""
+    of each vertex, or -1 (ties by vertex id)."""
     n = nk.shape[0]
-    out = np.full(n, -1, dtype=np.int64)
-    a_mask = np.zeros(n, dtype=bool)
-    a_mask[a_set] = True
-    for v in range(n):
-        finite = np.flatnonzero(np.isfinite(nk[v]) & a_mask)
-        if finite.size:
-            order = np.lexsort((finite, nk[v][finite]))
-            out[v] = int(finite[order[0]])
-    return out
+    if len(a_set) == 0:
+        return np.full(n, -1, dtype=np.int64)
+    a_sorted = np.sort(np.asarray(a_set, dtype=np.int64))
+    sub = nk[:, a_sorted]  # argmin's first-hit rule = id tie-break
+    best = np.argmin(sub, axis=1)
+    found = np.isfinite(sub[np.arange(n), best])
+    return np.where(found, a_sorted[best], -1)
 
 
 def _build_m1(
@@ -301,18 +299,18 @@ def _build_m1(
     n = gp.n
     ap_mask = np.zeros(n, dtype=bool)
     ap_mask[ap_set] = True
-    # One A'-neighbour per vertex (broadcast once in the real algorithm).
+    # First (sorted) A'-neighbour per vertex (broadcast once in the real
+    # algorithm), found over all CSR slabs at once: hit positions are
+    # ascending, so the first hit per owner row is the entry np.unique keeps.
     ap_neighbour = np.full(n, -1, dtype=np.int64)
-    for v in range(n):
-        nbrs = gp.neighbors(v)
-        hits = nbrs[ap_mask[nbrs]]
-        if hits.size:
-            ap_neighbour[v] = int(hits[0])
+    hit_pos = np.flatnonzero(ap_mask[gp.indices])
+    if hit_pos.size:
+        owners = np.searchsorted(gp.indptr, hit_pos, side="right") - 1
+        first_owner, first_idx = np.unique(owners, return_index=True)
+        ap_neighbour[first_owner] = gp.indices[hit_pos[first_idx]]
     m1 = np.full((n, n), np.inf)
-    for u in range(n):
-        members = np.flatnonzero(np.isfinite(nk[u]))
-        ws = ap_neighbour[members]
-        ws = np.unique(ws[ws >= 0])
-        if ws.size:
-            m1[u, ws] = delta[u, ws]
+    u_idx, members = np.nonzero(np.isfinite(nk))
+    ws = ap_neighbour[members]
+    has = ws >= 0
+    m1[u_idx[has], ws[has]] = delta[u_idx[has], ws[has]]
     return m1

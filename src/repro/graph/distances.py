@@ -21,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.csgraph as csgraph
 
+from .. import kernels
 from .graph import Graph, WeightedGraph
 
 __all__ = [
@@ -54,25 +55,14 @@ def multi_source_bfs(
 ) -> np.ndarray:
     """Distance to the *nearest* of ``sources``, truncated at ``max_dist``.
 
-    Level-synchronous BFS; each level concatenates the CSR neighbour slices
-    of the current frontier, so the cost is ``O(m)`` total.
+    Level-synchronous BFS on :func:`repro.kernels.multi_source_bfs`: each
+    level gathers the CSR neighbour slabs of the whole frontier in one
+    vectorized pass, so the cost is ``O(m)`` total with no per-vertex
+    Python work.
     """
-    dist = np.full(g.n, np.inf)
-    frontier = np.unique(np.asarray(list(sources), dtype=np.int64))
-    if frontier.size == 0:
-        return dist
-    dist[frontier] = 0.0
-    level = 0
-    while frontier.size and level < max_dist:
-        level += 1
-        nbr_chunks = [g.indices[g.indptr[v] : g.indptr[v + 1]] for v in frontier]
-        if not nbr_chunks:
-            break
-        cand = np.unique(np.concatenate(nbr_chunks)) if nbr_chunks else frontier[:0]
-        new = cand[np.isinf(dist[cand])]
-        dist[new] = level
-        frontier = new
-    return dist
+    return kernels.multi_source_bfs(
+        g.indptr, g.indices, g.n, sources, max_dist=max_dist
+    )
 
 
 def ball(g: Graph, v: int, radius: float) -> Tuple[np.ndarray, np.ndarray]:
@@ -128,35 +118,29 @@ def hop_limited_bellman_ford(
     Returns a ``(len(sources), n)`` matrix whose entry ``[i, v]`` is
     ``d^{max_hops}(sources[i], v)`` in ``wg`` — exactly the quantity the
     ``(S, d)``-source detection task of Theorem 11 computes.
+
+    Unit-weight graphs take the batched multi-wave BFS kernel (hop bound
+    and distance bound coincide, so the results are identical); general
+    weights run the :func:`repro.kernels.hop_limited_relax` kernel.
     """
     sources = list(sources)
     n = wg.n
     dist = np.full((len(sources), n), np.inf)
-    for i, s in enumerate(sources):
-        dist[i, s] = 0.0
+    src = np.asarray(sources, dtype=np.int64)
+    if src.size:
+        dist[np.arange(src.size), src] = 0.0
     us, vs, ws = wg.edge_arrays()
-    if us.size == 0 or not sources:
+    if us.size == 0 or not sources or max_hops <= 0:
         return dist
-    # Directed relaxation arcs (both orientations), grouped by target so a
-    # single vectorized reduceat performs the scatter-min per hop.
+    if np.all(ws == 1.0):
+        indptr, indices = kernels.edges_to_csr(n, us, vs)
+        return kernels.batched_bfs(indptr, indices, n, src, max_dist=max_hops)
+    # Directed relaxation arcs (both orientations); the kernel groups them
+    # by target so one reduceat performs the scatter-min per hop.
     targets = np.concatenate([vs, us])
     origins = np.concatenate([us, vs])
     weights = np.concatenate([ws, ws])
-    order = np.argsort(targets, kind="stable")
-    targets, origins, weights = targets[order], origins[order], weights[order]
-    group_starts = np.flatnonzero(
-        np.concatenate([[True], targets[1:] != targets[:-1]])
-    )
-    unique_targets = targets[group_starts]
-    for _ in range(max_hops):
-        prev = dist
-        cand = prev[:, origins] + weights  # (|S|, 2m)
-        mins = np.minimum.reduceat(cand, group_starts, axis=1)
-        dist = prev.copy()
-        dist[:, unique_targets] = np.minimum(dist[:, unique_targets], mins)
-        if np.array_equal(dist, prev):
-            break
-    return dist
+    return kernels.hop_limited_relax(dist, origins, targets, weights, max_hops)
 
 
 def dijkstra(wg: WeightedGraph, source: int, max_dist: float = np.inf) -> np.ndarray:

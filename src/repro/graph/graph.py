@@ -20,6 +20,8 @@ from typing import Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 
+from ..kernels.csr import edges_to_csr
+
 __all__ = ["Graph", "WeightedGraph"]
 
 
@@ -47,15 +49,9 @@ class Graph:
         self.m = int(pairs.shape[0])
 
         # Build CSR over the symmetrized edge set.
-        if self.m:
-            sym = np.concatenate([pairs, pairs[:, ::-1]])
-        else:
-            sym = np.empty((0, 2), dtype=np.int64)
-        order = np.lexsort((sym[:, 1], sym[:, 0]))
-        sym = sym[order]
-        counts = np.bincount(sym[:, 0], minlength=n)
-        self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
-        self.indices = sym[:, 1].copy()
+        self.indptr, self.indices = edges_to_csr(
+            self.n, pairs[:, 0], pairs[:, 1]
+        )
 
     # ------------------------------------------------------------------
     # Constructors

@@ -1,0 +1,59 @@
+"""Vectorized CSR compute kernels — the library's hot-path substrate.
+
+Every per-row / per-vertex Python loop the algorithms used to run bottoms
+out here instead, in one of three kernel families, each with a backend
+dispatcher (see DESIGN.md for the layer's contract and fidelity policy):
+
+* :func:`minplus` — sparse/dense/reference min-plus products (Theorem 36);
+* :func:`filter_rows` — row-wise top-``rho`` filtering (Theorem 58);
+* :func:`multi_source_bfs` / :func:`batched_bfs` — frontier BFS with a
+  batched multi-wave variant (the ``(k, d)``-nearest substrate);
+* :func:`hop_limited_relax` — the Bellman–Ford relaxation core
+  (``(S, d)``-source detection).
+
+Backends are selected per call (``backend=``), per process
+(:func:`set_default_backend`), or forced for a whole pipeline
+(:func:`force_backend` — how tests prove the vectorized kernels are
+bit-identical to the original implementations).
+"""
+
+from .bfs import batched_bfs, multi_source_bfs
+from .config import (
+    BACKENDS,
+    force_backend,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+)
+from .csr import (
+    CsrParts,
+    dense_to_csr,
+    edges_to_csr,
+    slab_gather,
+    slab_gather_owners,
+)
+from .minplus import auto_block, finite_fraction, minplus, minplus_csr, minplus_dense
+from .relax import hop_limited_relax
+from .topk import filter_rows
+
+__all__ = [
+    "BACKENDS",
+    "CsrParts",
+    "auto_block",
+    "batched_bfs",
+    "dense_to_csr",
+    "edges_to_csr",
+    "filter_rows",
+    "finite_fraction",
+    "force_backend",
+    "get_default_backend",
+    "hop_limited_relax",
+    "minplus",
+    "minplus_csr",
+    "minplus_dense",
+    "multi_source_bfs",
+    "resolve_backend",
+    "set_default_backend",
+    "slab_gather",
+    "slab_gather_owners",
+]

@@ -1,0 +1,116 @@
+"""Vectorized frontier BFS kernels.
+
+Both kernels are level-synchronous BFS over an adjacency CSR
+``(indptr, indices)``.  The frontier expansion is a single
+:func:`repro.kernels.csr.slab_gather` (``np.repeat`` arithmetic) instead
+of a per-vertex list comprehension, and deduplication is a boolean
+scatter instead of ``np.unique`` — no Python work per vertex.
+
+:func:`batched_bfs` runs *many independent* BFS waves at once by keying
+frontier members as flat ``(wave, vertex)`` pairs; one gather expands
+every wave's frontier simultaneously.  This is what lets
+``(k, d)``-nearest (Theorem 10's oracle substrate) run all ``n`` truncated
+BFS calls in one pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .config import resolve_backend
+from .csr import slab_gather, slab_gather_owners
+from .reference import batched_bfs_reference, multi_source_bfs_reference
+
+__all__ = ["multi_source_bfs", "batched_bfs"]
+
+# Flat (wave, vertex) key-space budget per batch of waves (~128 MB of
+# transient boolean masks at the default).
+_BATCH_KEY_BUDGET = 1 << 27
+
+
+def multi_source_bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    sources,
+    max_dist: float = np.inf,
+    backend: Optional[str] = None,
+) -> np.ndarray:
+    """Distance to the nearest of ``sources``, truncated at ``max_dist``
+    (vertices farther away report ``inf``).  BFS levels are integral, so a
+    fractional bound is floored once here."""
+    max_dist = np.floor(max_dist)
+    if resolve_backend(backend) == "reference":
+        return multi_source_bfs_reference(indptr, indices, n, sources, max_dist)
+    dist = np.full(n, np.inf)
+    frontier = np.unique(np.asarray(list(sources), dtype=np.int64))
+    if frontier.size == 0:
+        return dist
+    dist[frontier] = 0.0
+    level = 0
+    while frontier.size and level < max_dist:
+        level += 1
+        nbrs = slab_gather(indptr, indices, frontier)
+        if nbrs.size == 0:
+            break
+        mark = np.zeros(n, dtype=bool)
+        mark[nbrs] = True
+        mark &= np.isinf(dist)
+        frontier = np.flatnonzero(mark)
+        dist[frontier] = level
+    return dist
+
+
+def batched_bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    sources,
+    max_dist: float = np.inf,
+    backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
+) -> np.ndarray:
+    """One truncated BFS per entry of ``sources``, all waves expanded
+    together; returns the ``(len(sources), n)`` distance matrix.
+
+    ``batch_size`` caps how many waves share one flat key space (memory
+    control for huge graphs); ``None`` auto-sizes it.  A fractional
+    ``max_dist`` is floored (BFS levels are integral).
+    """
+    max_dist = np.floor(max_dist)
+    sources = np.asarray(list(sources), dtype=np.int64)
+    if resolve_backend(backend) == "reference":
+        return batched_bfs_reference(indptr, indices, n, sources, max_dist)
+    dist = np.full((sources.size, n), np.inf)
+    if sources.size == 0 or n == 0:
+        return dist
+    if batch_size is None:
+        batch_size = max(1, _BATCH_KEY_BUDGET // n)
+    for lo in range(0, sources.size, batch_size):
+        hi = min(sources.size, lo + batch_size)
+        _batched_wave(indptr, indices, n, sources[lo:hi], max_dist, dist[lo:hi])
+    return dist
+
+
+def _batched_wave(indptr, indices, n, src, max_dist, dist) -> None:
+    """Run ``src.size`` simultaneous BFS waves, writing into ``dist``."""
+    waves = src.size
+    flat = dist.ravel()  # view: dist is a contiguous row-slice
+    fr_wave = np.arange(waves, dtype=np.int64)
+    fr_vert = src.copy()
+    flat[fr_wave * n + fr_vert] = 0.0
+    level = 0
+    while fr_vert.size and level < max_dist:
+        level += 1
+        owners, nbrs = slab_gather_owners(indptr, indices, fr_vert, fr_wave)
+        if nbrs.size == 0:
+            break
+        keys = owners * np.int64(n) + nbrs
+        mark = np.zeros(waves * n, dtype=bool)
+        mark[keys] = True
+        mark &= np.isinf(flat)
+        new_keys = np.flatnonzero(mark)
+        flat[new_keys] = level
+        fr_wave, fr_vert = np.divmod(new_keys, n)

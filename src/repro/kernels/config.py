@@ -1,0 +1,74 @@
+"""Backend selection state for the kernel layer.
+
+Every dispatching kernel (:func:`repro.kernels.minplus`,
+:func:`repro.kernels.filter_rows`, the BFS entry points) resolves its
+backend through this module.  Resolution order:
+
+1. a *forced* backend installed by :func:`force_backend` (tests use this
+   to run whole pipelines against the ``reference`` implementations);
+2. the ``backend=`` argument passed at the call site;
+3. the process-wide default (``"auto"``).
+
+``"auto"`` lets each kernel pick between its vectorized implementations
+by operand density; ``"reference"`` routes to the original Python-loop
+implementations kept in :mod:`repro.kernels.reference`, which the
+vectorized kernels must match bit-for-bit (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "force_backend",
+    "resolve_backend",
+]
+
+BACKENDS = ("auto", "dense", "csr", "reference")
+
+_default_backend = "auto"
+_forced_backend: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+    return name
+
+
+def get_default_backend() -> str:
+    """The process-wide default backend."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default backend."""
+    global _default_backend
+    _default_backend = _validate(name)
+
+
+@contextmanager
+def force_backend(name: str) -> Iterator[None]:
+    """Force every kernel dispatch to ``name`` inside the ``with`` block,
+    overriding call-site ``backend=`` arguments.  Used by the fidelity
+    tests to run full pipelines on the ``reference`` backends."""
+    global _forced_backend
+    prev = _forced_backend
+    _forced_backend = _validate(name)
+    try:
+        yield
+    finally:
+        _forced_backend = prev
+
+
+def resolve_backend(requested: Optional[str] = None) -> str:
+    """The effective backend for one kernel call."""
+    if _forced_backend is not None:
+        return _forced_backend
+    if requested is not None:
+        return _validate(requested)
+    return _default_backend

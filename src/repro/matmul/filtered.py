@@ -21,6 +21,7 @@ import numpy as np
 
 from ..cliquesim.costs import filtered_matmul_rounds
 from ..cliquesim.ledger import RoundLedger
+from ..kernels import filter_rows as _filter_rows_kernel
 from .semiring import density
 from .sparse import row_sparse_minplus
 
@@ -29,27 +30,12 @@ __all__ = ["filter_rows", "filtered_product", "filtered_product_with_cost"]
 
 def filter_rows(m: np.ndarray, rho: int) -> np.ndarray:
     """Keep only the ``rho`` smallest finite entries in each row
-    (ties by column id); everything else becomes ``inf``."""
-    if rho < 0:
-        raise ValueError(f"rho must be non-negative, got {rho}")
-    m = np.asarray(m, dtype=np.float64)
-    n_cols = m.shape[1]
-    if rho >= n_cols:
-        return m.copy()
-    out = np.full_like(m, np.inf)
-    if rho == 0:
-        return out
-    # argsort is stable on values; add a tiny column-id tiebreak by sorting
-    # the pairs (value, col): numpy lexsort gives exactly that.
-    for i in range(m.shape[0]):
-        row = m[i]
-        finite = np.flatnonzero(np.isfinite(row))
-        if finite.size == 0:
-            continue
-        order = np.lexsort((finite, row[finite]))
-        keep = finite[order[:rho]]
-        out[i, keep] = row[keep]
-    return out
+    (ties by column id); everything else becomes ``inf``.
+
+    Runs on :func:`repro.kernels.filter_rows` (one stable matrix-wide
+    argsort; the stability *is* the deterministic column-id tie-break).
+    """
+    return _filter_rows_kernel(m, rho)
 
 
 def filtered_product(s: np.ndarray, t: np.ndarray, rho: int) -> np.ndarray:

@@ -14,8 +14,11 @@ which agree with these on their supports (tested property).
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 import numpy as np
+
+from ..kernels import minplus_dense
 
 __all__ = [
     "MINPLUS_ZERO",
@@ -29,30 +32,23 @@ __all__ = [
 MINPLUS_ZERO = np.inf
 
 
-def minplus_product(a: np.ndarray, b: np.ndarray, block: int = 64) -> np.ndarray:
+def minplus_product(
+    a: np.ndarray, b: np.ndarray, block: Optional[int] = None
+) -> np.ndarray:
     """``C[i, j] = min_k (a[i, k] + b[k, j])``, blocked over ``k`` to bound
-    the ``O(rows · block · n)`` broadcast memory."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
-        raise ValueError(f"shape mismatch: {a.shape} x {b.shape}")
-    rows, inner = a.shape
-    cols = b.shape[1]
-    out = np.full((rows, cols), np.inf)
-    for k0 in range(0, inner, block):
-        k1 = min(inner, k0 + block)
-        # (rows, kb, 1) + (1, kb, cols) -> (rows, kb, cols), min over kb.
-        chunk = a[:, k0:k1, None] + b[None, k0:k1, :]
-        np.minimum(out, chunk.min(axis=1), out=out)
-    return out
+    the ``O(rows · block · n)`` broadcast memory.  ``block=None`` auto-sizes
+    the block from the operand shape (see :func:`repro.kernels.auto_block`)."""
+    return minplus_dense(a, b, block=block)
 
 
-def minplus_square(a: np.ndarray, block: int = 64) -> np.ndarray:
+def minplus_square(a: np.ndarray, block: Optional[int] = None) -> np.ndarray:
     """``A^2`` in the min-plus semiring."""
     return minplus_product(a, a, block=block)
 
 
-def minplus_power(a: np.ndarray, power: int, block: int = 64) -> np.ndarray:
+def minplus_power(
+    a: np.ndarray, power: int, block: Optional[int] = None
+) -> np.ndarray:
     """``A^power`` via repeated squaring (``power >= 1``).
 
     Distance matrices are idempotent under entrywise min with the identity
@@ -69,7 +65,9 @@ def minplus_power(a: np.ndarray, power: int, block: int = 64) -> np.ndarray:
     return result
 
 
-def apsp_by_squaring(adjacency: np.ndarray, block: int = 64) -> tuple[np.ndarray, int]:
+def apsp_by_squaring(
+    adjacency: np.ndarray, block: Optional[int] = None
+) -> tuple[np.ndarray, int]:
     """Exact APSP by min-plus squaring until fixpoint.
 
     Returns ``(distances, num_squarings)``; ``num_squarings <= ceil(log2 D)``

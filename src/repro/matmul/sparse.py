@@ -7,7 +7,8 @@ at library scale (``n`` up to a few thousand) the dense representation is
 the fastest substrate in numpy — and exploit row sparsity algorithmically:
 the product gathers, for each finite ``(i, k)``, only the finite entries of
 row ``k`` of ``T``, so the work is ``O(sum_i sum_{k in row i} |T_k|)``
-rather than ``n^3``.
+rather than ``n^3``.  The gather itself runs on the vectorized CSR
+kernel layer (:mod:`repro.kernels`, see DESIGN.md).
 
 Round accounting is :func:`repro.cliquesim.costs.sparse_matmul_rounds`.
 """
@@ -20,7 +21,8 @@ import numpy as np
 
 from ..cliquesim.costs import sparse_matmul_rounds
 from ..cliquesim.ledger import RoundLedger
-from .semiring import density, minplus_product
+from ..kernels import minplus
+from .semiring import density
 
 __all__ = ["row_sparse_minplus", "sparse_minplus_with_cost"]
 
@@ -30,32 +32,11 @@ def row_sparse_minplus(
 ) -> np.ndarray:
     """Min-plus product exploiting the row sparsity of ``s`` and ``t``.
 
-    Falls back to the blocked dense kernel when the operands are dense
-    enough that gathering would be slower.
+    Dispatches through :func:`repro.kernels.minplus`: the segment-reduce
+    CSR kernel when ``s`` is sparse, the blocked dense kernel when it is
+    dense enough that gathering would be slower.
     """
-    s = np.asarray(s, dtype=np.float64)
-    t = np.asarray(t, dtype=np.float64)
-    if s.ndim != 2 or t.ndim != 2 or s.shape[1] != t.shape[0]:
-        raise ValueError(f"shape mismatch: {s.shape} x {t.shape}")
-    n_out = t.shape[1]
-    frac_s = np.isfinite(s).mean() if s.size else 0.0
-    if frac_s > dense_threshold:
-        return minplus_product(s, t)
-
-    out = np.full((s.shape[0], n_out), np.inf)
-    finite_t_cols = [np.flatnonzero(np.isfinite(t[k])) for k in range(t.shape[0])]
-    for i in range(s.shape[0]):
-        ks = np.flatnonzero(np.isfinite(s[i]))
-        if ks.size == 0:
-            continue
-        row = out[i]
-        for k in ks:
-            cols = finite_t_cols[k]
-            if cols.size == 0:
-                continue
-            cand = s[i, k] + t[k, cols]
-            np.minimum.at(row, cols, cand)
-    return out
+    return minplus(s, t, dense_threshold=dense_threshold)
 
 
 def sparse_minplus_with_cost(

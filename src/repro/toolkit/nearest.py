@@ -14,9 +14,10 @@ Two implementations are provided and cross-validated in tests:
   ``A_{i+1} = filter_rho(A_i · A_i)`` for ``ceil(log2 d)`` iterations
   (Claim 59), then masking entries ``> d``.
 
-* :func:`kd_nearest_bfs` — the sequential oracle (per-vertex truncated
-  BFS), used as ground truth and as the fast substrate inside larger
-  pipelines (identical output semantics; see DESIGN.md on fidelity).
+* :func:`kd_nearest_bfs` — the BFS oracle: all ``n`` truncated BFS waves
+  run in *one batched pass* on :func:`repro.kernels.batched_bfs`, used as
+  ground truth and as the fast substrate inside larger pipelines
+  (identical output semantics; see DESIGN.md §3 on the fidelity policy).
 """
 
 from __future__ import annotations
@@ -26,9 +27,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.costs import kd_nearest_rounds
 from ..cliquesim.ledger import RoundLedger
-from ..graph.distances import bfs_distances
 from ..graph.graph import Graph
 from ..matmul.filtered import filter_rows, filtered_product
 
@@ -74,19 +75,20 @@ def kd_nearest_bfs(
     d: int,
     ledger: Optional[RoundLedger] = None,
 ) -> Tuple[np.ndarray, float]:
-    """Sequential oracle for ``(k, d)``-nearest via truncated BFS per vertex.
+    """BFS oracle for ``(k, d)``-nearest: one batched multi-wave BFS
+    (every vertex's truncated wave expands simultaneously) followed by a
+    vectorized row-wise top-``k`` filter.
 
     Output format and tie-breaking (by vertex id at equal distance) match
     :func:`kd_nearest_matrix`; the Theorem 10 rounds are still charged so
     pipelines account identically whichever substrate they use.
     """
-    out = np.full((g.n, g.n), np.inf)
-    for v in range(g.n):
-        dist = bfs_distances(g, v, max_dist=d)
-        inside = np.flatnonzero(dist <= d)
-        order = np.lexsort((inside, dist[inside]))
-        keep = inside[order[:k]]
-        out[v, keep] = dist[keep]
+    # The kernel truncates waves at floor(d), so every entry > d is
+    # already inf — no post-mask needed.
+    dist = kernels.batched_bfs(
+        g.indptr, g.indices, g.n, np.arange(g.n, dtype=np.int64), max_dist=d
+    )
+    out = kernels.filter_rows(dist, k)
     rounds = kd_nearest_rounds(g.n, k, d)
     if ledger is not None:
         ledger.charge(rounds, "(k,d)-nearest")

@@ -7,8 +7,10 @@ hopset).  The congested-clique algorithm of [3] costs
 ``O((m^{1/3} |S|^{2/3} / n + 1) · d)`` rounds.
 
 Semantically the output is exactly ``d`` rounds of Bellman–Ford from ``S``,
-which is what we compute (vectorized); the rounds are charged by the
-theorem's formula.
+computed by :func:`repro.graph.distances.hop_limited_bellman_ford` (which
+itself runs on the kernel layer: one batched multi-source BFS at unit
+weights, the relaxation kernel otherwise).  The rounds are charged by the
+theorem's formula either way.
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.costs import source_detection_rounds
 from ..cliquesim.ledger import RoundLedger
 from ..graph.distances import hop_limited_bellman_ford
@@ -39,8 +42,9 @@ def source_detection(
     """
     if d < 0:
         raise ValueError(f"hop bound d must be non-negative, got {d}")
+    sources = list(sources)
     dist = hop_limited_bellman_ford(wg, sources, max_hops=d)
-    rounds = source_detection_rounds(wg.n, wg.m, len(list(sources)), d)
+    rounds = source_detection_rounds(wg.n, wg.m, len(sources), d)
     if ledger is not None:
         ledger.charge(rounds, phase)
     return dist, rounds
@@ -66,16 +70,9 @@ def source_detection_k(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
     dist, rounds = source_detection(wg, sources, d, ledger=ledger, phase=phase)
-    num_sources = dist.shape[0]
-    if k >= num_sources:
+    if k >= dist.shape[0]:
         return dist, rounds
-    out = np.full_like(dist, np.inf)
-    for v in range(dist.shape[1]):
-        col = dist[:, v]
-        finite = np.flatnonzero(np.isfinite(col))
-        if finite.size == 0:
-            continue
-        order = np.lexsort((finite, col[finite]))
-        keep = finite[order[:k]]
-        out[keep, v] = col[keep]
+    # Top-k per *vertex* = the row-filter kernel applied column-wise; the
+    # kernel's column-id tie-break becomes the source-index tie-break.
+    out = np.ascontiguousarray(kernels.filter_rows(dist.T, k).T)
     return out, rounds

@@ -1,0 +1,336 @@
+"""Cross-validation of the vectorized kernel layer (repro.kernels).
+
+Fidelity policy (DESIGN.md §3): every vectorized backend must agree
+*bit-for-bit* — including ``inf`` placement and tie-breaking — with the
+``reference`` backend (the original Python-loop implementations), on
+random, empty, and disconnected inputs.  Plus a pipeline regression:
+``apsp_two_plus_eps`` is bit-identical whether it runs on the vectorized
+kernels or the reference ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import apsp_two_plus_eps, kernels
+from repro.cliquesim import RoundLedger
+from repro.graph import Graph
+from repro.graph import generators as gen
+from repro.graph.distances import hop_limited_bellman_ford, multi_source_bfs
+from repro.kernels import reference as ref
+from repro.matmul import filter_rows, minplus_power, minplus_product, row_sparse_minplus
+from repro.toolkit import kd_nearest_bfs, source_detection, source_detection_k
+
+
+def exact_equal(a, b):
+    """Bit-for-bit equality including inf placement."""
+    return np.array_equal(
+        np.nan_to_num(a, posinf=-1.0), np.nan_to_num(b, posinf=-1.0)
+    )
+
+
+def random_minplus_matrix(rng, rows, cols, keep):
+    m = rng.integers(0, 30, (rows, cols)).astype(float)
+    m[rng.random((rows, cols)) > keep] = np.inf
+    return m
+
+
+# ----------------------------------------------------------------------
+# Min-plus backends
+# ----------------------------------------------------------------------
+
+class TestMinplusBackends:
+    @pytest.mark.parametrize("keep", [0.0, 0.05, 0.3, 0.9])
+    def test_all_backends_agree_random(self, rng, keep):
+        for _ in range(5):
+            rows, inner, cols = rng.integers(1, 40, 3)
+            s = random_minplus_matrix(rng, rows, inner, keep)
+            t = random_minplus_matrix(rng, inner, cols, keep)
+            expected = ref.minplus_reference(s, t)
+            assert exact_equal(kernels.minplus_csr(s, t), expected)
+            assert exact_equal(kernels.minplus_dense(s, t), expected)
+            assert exact_equal(kernels.minplus(s, t), expected)
+
+    def test_csr_chunking_invariant(self, rng):
+        s = random_minplus_matrix(rng, 25, 25, 0.3)
+        full = kernels.minplus_csr(s, s)
+        for chunk in (1, 3, 17, 1000):
+            assert exact_equal(kernels.minplus_csr(s, s, chunk_triples=chunk), full)
+
+    def test_empty_and_degenerate_shapes(self):
+        for rows, inner, cols in [(0, 4, 3), (4, 0, 3), (4, 3, 0), (0, 0, 0)]:
+            s = np.full((rows, inner), np.inf)
+            t = np.full((inner, cols), np.inf)
+            expected = ref.minplus_reference(s, t)
+            assert exact_equal(kernels.minplus_csr(s, t), expected)
+            assert exact_equal(kernels.minplus_dense(s, t), expected)
+
+    def test_all_inf_operands(self):
+        s = np.full((5, 5), np.inf)
+        assert np.isinf(kernels.minplus_csr(s, s)).all()
+        assert np.isinf(kernels.minplus(s, s, backend="dense")).all()
+
+    def test_finite_zero_values_survive(self):
+        # 0.0 is a legitimate stored value of the tropical semiring, not a
+        # missing entry — the CSR conversion must keep it.
+        s = np.array([[0.0, np.inf], [np.inf, 0.0]])
+        out = kernels.minplus_csr(s, s)
+        assert exact_equal(out, s)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            kernels.minplus(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            kernels.minplus(np.zeros((2, 2)), np.zeros((2, 2)), backend="gpu")
+
+    def test_auto_dispatch_density_rule(self, rng):
+        sparse = random_minplus_matrix(rng, 20, 20, 0.1)
+        dense = random_minplus_matrix(rng, 20, 20, 0.9)
+        assert exact_equal(
+            kernels.minplus(sparse, sparse), kernels.minplus_csr(sparse, sparse)
+        )
+        assert exact_equal(
+            kernels.minplus(dense, dense), kernels.minplus_dense(dense, dense)
+        )
+
+    def test_row_sparse_minplus_unchanged_semantics(self, rng):
+        s = random_minplus_matrix(rng, 20, 20, 0.15)
+        assert exact_equal(row_sparse_minplus(s, s), minplus_product(s, s))
+
+    def test_dense_block_sizes_agree(self, rng):
+        a = random_minplus_matrix(rng, 30, 30, 0.5)
+        auto = minplus_product(a, a)
+        assert exact_equal(auto, minplus_product(a, a, block=3))
+        assert exact_equal(auto, minplus_product(a, a, block=64))
+        assert exact_equal(minplus_power(a, 4), minplus_power(a, 4, block=7))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_minplus_backends_agree_hypothesis(data):
+    rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+    rows = data.draw(st.integers(1, 12))
+    inner = data.draw(st.integers(1, 12))
+    cols = data.draw(st.integers(1, 12))
+    keep = data.draw(st.floats(0.0, 1.0))
+    s = random_minplus_matrix(rng, rows, inner, keep)
+    t = random_minplus_matrix(rng, inner, cols, keep)
+    expected = ref.minplus_reference(s, t)
+    assert exact_equal(kernels.minplus_csr(s, t), expected)
+    assert exact_equal(kernels.minplus_dense(s, t), expected)
+
+
+# ----------------------------------------------------------------------
+# Top-k row filter
+# ----------------------------------------------------------------------
+
+class TestFilterRowsKernel:
+    @pytest.mark.parametrize("rho", [0, 1, 3, 10, 100])
+    def test_matches_reference(self, rng, rho):
+        for keep in (0.0, 0.2, 1.0):
+            m = random_minplus_matrix(rng, 17, 23, keep)
+            assert exact_equal(
+                kernels.filter_rows(m, rho), ref.filter_rows_reference(m, rho)
+            )
+
+    def test_tie_breaking_by_column(self):
+        m = np.array([[2.0, 2.0, 2.0, 1.0]])
+        out = kernels.filter_rows(m, 2)
+        expected = ref.filter_rows_reference(m, 2)
+        assert exact_equal(out, expected)
+        assert np.isfinite(out[0, 3]) and np.isfinite(out[0, 0])
+        assert np.isinf(out[0, 1]) and np.isinf(out[0, 2])
+
+    def test_many_ties_match_reference(self, rng):
+        # Integer-valued matrices maximize ties.
+        m = rng.integers(0, 3, (20, 20)).astype(float)
+        for rho in (1, 5, 19):
+            assert exact_equal(
+                kernels.filter_rows(m, rho), ref.filter_rows_reference(m, rho)
+            )
+
+    def test_empty_matrix(self):
+        m = np.empty((0, 5))
+        assert kernels.filter_rows(m, 2).shape == (0, 5)
+
+    def test_nonfinite_values_never_selected(self):
+        # -inf is not a finite entry; it must not displace finite values
+        # (out-of-domain for distance matrices, but the public API
+        # contract is bit-fidelity with the reference on any input).
+        m = np.array([[-np.inf, 1.0, 2.0, np.inf], [np.nan, 3.0, -np.inf, 0.0]])
+        for rho in (1, 2, 3):
+            got = kernels.filter_rows(m, rho)
+            want = ref.filter_rows_reference(m, rho)
+            assert np.array_equal(got, want, equal_nan=True)
+
+    def test_negative_rho(self):
+        with pytest.raises(ValueError):
+            kernels.filter_rows(np.ones((1, 1)), -1)
+
+    def test_public_filter_rows_is_kernel(self, rng):
+        m = random_minplus_matrix(rng, 9, 9, 0.5)
+        assert exact_equal(filter_rows(m, 4), kernels.filter_rows(m, 4))
+
+
+# ----------------------------------------------------------------------
+# BFS kernels
+# ----------------------------------------------------------------------
+
+def graph_cases():
+    cases = [
+        Graph.empty(0),
+        Graph.empty(7),  # disconnected: all isolated
+        gen.make_family("er_sparse", 60, seed=1),
+        gen.make_family("grid", 49, seed=2),
+        gen.make_family("tree", 40, seed=3),
+        # Disconnected: two components + isolated vertices.
+        Graph(12, [(0, 1), (1, 2), (3, 4), (4, 5), (5, 3)]),
+    ]
+    return cases
+
+
+class TestBfsKernels:
+    @pytest.mark.parametrize("max_dist", [0, 1, 3, np.inf])
+    def test_multi_source_matches_reference(self, max_dist):
+        for g in graph_cases():
+            if g.n == 0:
+                continue
+            for sources in ([0], [0, g.n - 1], list(range(0, g.n, 3)), []):
+                got = kernels.multi_source_bfs(
+                    g.indptr, g.indices, g.n, sources, max_dist
+                )
+                want = ref.multi_source_bfs_reference(
+                    g.indptr, g.indices, g.n, sources, max_dist
+                )
+                assert exact_equal(got, want)
+
+    @pytest.mark.parametrize("max_dist", [0, 2, 5, np.inf])
+    def test_batched_matches_reference(self, max_dist):
+        for g in graph_cases():
+            sources = np.arange(g.n)
+            got = kernels.batched_bfs(g.indptr, g.indices, g.n, sources, max_dist)
+            want = ref.batched_bfs_reference(
+                g.indptr, g.indices, g.n, sources, max_dist
+            )
+            assert exact_equal(got, want)
+
+    def test_batched_batch_size_invariant(self):
+        g = gen.make_family("er_sparse", 50, seed=5)
+        sources = np.arange(g.n)
+        full = kernels.batched_bfs(g.indptr, g.indices, g.n, sources, 4)
+        for bs in (1, 7, 49, 1000):
+            assert exact_equal(
+                kernels.batched_bfs(
+                    g.indptr, g.indices, g.n, sources, 4, batch_size=bs
+                ),
+                full,
+            )
+
+    def test_graph_level_multi_source_bfs(self, small_er):
+        got = multi_source_bfs(small_er, [0, 5], max_dist=4)
+        want = ref.multi_source_bfs_reference(
+            small_er.indptr, small_er.indices, small_er.n, [0, 5], 4
+        )
+        assert exact_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Rewired toolkit entry points
+# ----------------------------------------------------------------------
+
+class TestRewiredCallSites:
+    def test_kd_nearest_bfs_matches_reference_backend(self, family_graph):
+        fast, r1 = kd_nearest_bfs(family_graph, 6, 5)
+        with kernels.force_backend("reference"):
+            slow, r2 = kd_nearest_bfs(family_graph, 6, 5)
+        assert exact_equal(fast, slow)
+        assert r1 == r2
+
+    def test_source_detection_unit_weight_bfs_path(self, small_er):
+        # Unit weights take the batched-BFS kernel; it must equal the
+        # Bellman-Ford relaxation exactly.
+        wg = small_er.to_weighted()
+        sources = [0, 7, 13]
+        got, _ = source_detection(wg, sources, 5)
+        want = hop_limited_bellman_ford(wg, sources, max_hops=5)
+        assert exact_equal(got, want)
+
+    def test_source_detection_k_matches_loop(self, small_er):
+        wg = small_er.to_weighted()
+        sources = list(range(10))
+        dist, _ = source_detection(wg, sources, 6)
+        got, _ = source_detection_k(wg, sources, 6, 3)
+        # Per-vertex reference loop (the original implementation).
+        want = np.full_like(dist, np.inf)
+        for v in range(dist.shape[1]):
+            col = dist[:, v]
+            finite = np.flatnonzero(np.isfinite(col))
+            if finite.size == 0:
+                continue
+            order = np.lexsort((finite, col[finite]))
+            keep = finite[order[:3]]
+            want[keep, v] = col[keep]
+        assert exact_equal(got, want)
+
+    def test_ledger_charges_unchanged(self, small_er):
+        ledger = RoundLedger()
+        kd_nearest_bfs(small_er, 4, 4, ledger=ledger)
+        with kernels.force_backend("reference"):
+            ledger_ref = RoundLedger()
+            kd_nearest_bfs(small_er, 4, 4, ledger=ledger_ref)
+        assert ledger.total == ledger_ref.total
+
+
+# ----------------------------------------------------------------------
+# Backend configuration
+# ----------------------------------------------------------------------
+
+class TestBackendConfig:
+    def test_force_backend_overrides_call_site(self, rng):
+        s = random_minplus_matrix(rng, 10, 10, 0.2)
+        with kernels.force_backend("dense"):
+            assert kernels.resolve_backend("csr") == "dense"
+        assert kernels.resolve_backend("csr") == "csr"
+
+    def test_force_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with kernels.force_backend("reference"):
+                raise RuntimeError("boom")
+        assert kernels.resolve_backend() == kernels.get_default_backend()
+
+    def test_set_default_backend_roundtrip(self):
+        assert kernels.get_default_backend() == "auto"
+        kernels.set_default_backend("csr")
+        try:
+            assert kernels.resolve_backend() == "csr"
+        finally:
+            kernels.set_default_backend("auto")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.set_default_backend("quantum")
+        with pytest.raises(ValueError):
+            with kernels.force_backend("quantum"):
+                pass
+
+
+# ----------------------------------------------------------------------
+# Pipeline regression: the rewire is invisible end to end
+# ----------------------------------------------------------------------
+
+class TestPipelineRegression:
+    @pytest.mark.parametrize("family", ["er_sparse", "ring_of_cliques"])
+    @pytest.mark.parametrize("deterministic", [False, True])
+    def test_apsp_two_plus_eps_bit_identical(self, family, deterministic):
+        g = gen.make_family(family, 90, seed=9)
+        fast = apsp_two_plus_eps(
+            g, 0.5, rng=np.random.default_rng(42), deterministic=deterministic
+        )
+        with kernels.force_backend("reference"):
+            slow = apsp_two_plus_eps(
+                g, 0.5, rng=np.random.default_rng(42), deterministic=deterministic
+            )
+        assert exact_equal(fast.estimates, slow.estimates)
+        assert fast.ledger.total == slow.ledger.total
