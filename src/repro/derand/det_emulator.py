@@ -32,6 +32,7 @@ from ..emulator.clique import build_emulator_cc
 from ..emulator.params import EmulatorParams, sampling_probabilities
 from ..emulator.sampling import Hierarchy
 from ..graph.graph import Graph
+from ..kernels.config import resolve_backend
 from ..toolkit.hitting import deterministic_hitting_set
 from ..toolkit.nearest import kd_nearest_bfs
 from .conditional import deterministic_soft_hitting_set
@@ -59,13 +60,20 @@ def build_deterministic_hierarchy(
     d = max(1, math.ceil(params.delta_r))
     nearest, _ = kd_nearest_bfs(g, k, d, ledger=ledger)
 
-    # Sorted-by-distance finite entries per vertex, shared by every level.
-    finite_rows: List[np.ndarray] = []
-    for v in range(n):
-        row = nearest[v]
-        finite = np.flatnonzero(np.isfinite(row))
-        order = np.lexsort((finite, row[finite]))
-        finite_rows.append(finite[order])
+    reference = resolve_backend() == "reference"
+    if reference:
+        # Sorted-by-distance finite entries per vertex (one lexsort each).
+        finite_rows: List[np.ndarray] = []
+        for v in range(n):
+            row = nearest[v]
+            finite = np.flatnonzero(np.isfinite(row))
+            order = np.lexsort((finite, row[finite]))
+            finite_rows.append(finite[order])
+    else:
+        # One stable argsort replaces the n per-vertex lexsorts: row ``v``
+        # holds the columns sorted by (distance, id) with the infinite
+        # entries last, so the ball of any radius is a prefix.
+        sorted_cols = np.argsort(nearest, axis=1, kind="stable")
 
     sprime = np.ones(n, dtype=bool)
     sprime_rows = [sprime.copy()]
@@ -76,19 +84,38 @@ def build_deterministic_hierarchy(
         delta_bound = max(1, math.ceil(c_soft / probs[i + 1]))
         members: List[int] = []
         sets: List[np.ndarray] = []
-        for v in np.flatnonzero(sprime):
-            finite = finite_rows[v]
-            row = nearest[v]
-            within = finite[row[finite] <= radius]
-            heavy = within.size >= k
-            if heavy:
-                if heavy_first_iteration[v] < 0:
-                    heavy_first_iteration[v] = i
-                continue
-            t_v = within[sprime[within]]
-            if t_v.size >= delta_bound:
+        if reference:
+            for v in np.flatnonzero(sprime):
+                finite = finite_rows[v]
+                row = nearest[v]
+                within = finite[row[finite] <= radius]
+                heavy = within.size >= k
+                if heavy:
+                    if heavy_first_iteration[v] < 0:
+                        heavy_first_iteration[v] = i
+                    continue
+                t_v = within[sprime[within]]
+                if t_v.size >= delta_bound:
+                    members.append(v)
+                    sets.append(t_v)
+        else:
+            # Vectorized candidate preselection: ball sizes and
+            # |T_v| = |ball ∩ S'_i| for every active row at once; only the
+            # rows that actually join the instance extract their set.
+            active = np.flatnonzero(sprime)
+            within_mask = nearest[active] <= radius
+            within_counts = within_mask.sum(axis=1)
+            heavy = within_counts >= k
+            newly_heavy = active[heavy]
+            newly_heavy = newly_heavy[heavy_first_iteration[newly_heavy] < 0]
+            heavy_first_iteration[newly_heavy] = i
+            t_counts = (within_mask & sprime).sum(axis=1)
+            cand = np.flatnonzero(~heavy & (t_counts >= delta_bound))
+            for idx in cand.tolist():
+                v = int(active[idx])
+                within = sorted_cols[v, : int(within_counts[idx])]
                 members.append(v)
-                sets.append(t_v)
+                sets.append(within[sprime[within]])
         if sets:
             if use_soft:
                 instance = SoftHittingInstance(
@@ -116,9 +143,12 @@ def build_deterministic_hierarchy(
         heavy_sets = []
         for v in heavy_vertices:
             radius = params.deltas[heavy_first_iteration[v]]
-            finite = finite_rows[v]
             row = nearest[v]
-            heavy_sets.append(finite[row[finite] <= radius][:k])
+            if reference:
+                finite = finite_rows[v]
+                heavy_sets.append(finite[row[finite] <= radius][:k])
+            else:
+                heavy_sets.append(sorted_cols[v, : int((row <= radius).sum())][:k])
         a_set = deterministic_hitting_set(heavy_sets, n, ledger=ledger)
     else:
         a_set = np.zeros(0, dtype=np.int64)

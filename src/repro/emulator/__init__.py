@@ -2,7 +2,12 @@
 
 from .params import EmulatorParams, sampling_probabilities
 from .sampling import Hierarchy, sample_hierarchy
-from .builder import EmulatorResult, build_emulator, edges_for_vertex
+from .builder import (
+    EmulatorResult,
+    build_emulator,
+    edges_for_level,
+    edges_for_vertex,
+)
 from .warmup import WarmupEmulator, build_warmup_emulator
 from .clique import build_emulator_cc, cc_stretch_bound
 from .whp import DrawEvaluation, build_emulator_whp, evaluate_draw
@@ -20,6 +25,7 @@ __all__ = [
     "sample_hierarchy",
     "EmulatorResult",
     "build_emulator",
+    "edges_for_level",
     "edges_for_vertex",
     "WarmupEmulator",
     "build_warmup_emulator",

@@ -15,6 +15,20 @@ rescaling.
 This module is the reference semantics; the congested-clique build
 (:mod:`repro.emulator.clique`) must produce the same edges for light
 vertices and ``(1+eps')``-weighted edges among ``S_r``.
+
+Two construction paths produce identical output (DESIGN.md §3):
+
+* ``batched`` (default) — vertices are bucketed by hierarchy level, one
+  radius-bounded :func:`repro.kernels.sharded_bfs` runs per level, and
+  :func:`edges_for_level` applies the Section 3.2 edge rule to the whole
+  level's ball matrix with mask algebra, feeding a single bulk
+  :meth:`WeightedGraph.add_edges_arrays` per shard.  All vertices of a
+  level are computed *simultaneously* — the shape of the sparse-matrix
+  formulation in Censor-Hillel et al. — and memory stays
+  ``O(shard · n)``, which opens ``n >= 10^4`` builds.
+* ``reference`` — the original one-BFS-per-vertex loop, kept reachable
+  both explicitly (``method="reference"``) and under
+  ``force_backend("reference")``; the bit-fidelity tests compare the two.
 """
 
 from __future__ import annotations
@@ -24,13 +38,20 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.ledger import RoundLedger
 from ..graph.distances import bfs_distances
 from ..graph.graph import Graph, WeightedGraph
+from ..kernels.config import resolve_backend
 from .params import EmulatorParams
 from .sampling import Hierarchy, sample_hierarchy
 
-__all__ = ["EmulatorResult", "build_emulator", "edges_for_vertex"]
+__all__ = [
+    "EmulatorResult",
+    "build_emulator",
+    "edges_for_vertex",
+    "edges_for_level",
+]
 
 
 @dataclass
@@ -80,6 +101,45 @@ def edges_for_vertex(
     ]
 
 
+def edges_for_level(
+    level: int,
+    sources: np.ndarray,
+    ball_block: np.ndarray,
+    hierarchy: Hierarchy,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`edges_for_vertex` over a whole level's ball matrix.
+
+    ``ball_block`` is a ``(len(sources), n)`` distance matrix whose finite
+    entries are exactly the balls ``B(sources[i], delta_level, G)`` (row
+    ``i`` includes ``sources[i]`` itself at distance 0).  Applies the
+    dense/sparse rule to every row at once with mask algebra and returns
+    ``(is_dense, us, vs, ws)`` — the per-row density flags and the flat
+    edge arrays ready for :meth:`WeightedGraph.add_edges_arrays`.
+
+    Tie-breaking matches the scalar rule bit for bit: ``argmin`` over a
+    row returns the first minimum, i.e. the smallest vertex id at the
+    minimum distance.
+    """
+    masks = hierarchy.masks
+    in_ball = np.isfinite(ball_block)
+    in_next = in_ball & masks[level + 1]
+    dense_rows, dense_targets, dense_weights = kernels.masked_row_argmin(
+        ball_block, in_next
+    )
+    is_dense = np.zeros(ball_block.shape[0], dtype=bool)
+    is_dense[dense_rows] = True
+
+    sparse = in_ball & masks[level] & (ball_block > 0)
+    sparse[dense_rows] = False
+    flat_hits = np.flatnonzero(sparse.ravel())
+    sparse_rows, sparse_targets = np.divmod(flat_hits, sparse.shape[1])
+
+    us = np.concatenate([sources[dense_rows], sources[sparse_rows]])
+    vs = np.concatenate([dense_targets, sparse_targets])
+    ws = np.concatenate([dense_weights, ball_block[sparse_rows, sparse_targets]])
+    return is_dense, us, vs, ws
+
+
 def build_emulator(
     g: Graph,
     eps: float,
@@ -88,6 +148,7 @@ def build_emulator(
     hierarchy: Optional[Hierarchy] = None,
     params: Optional[EmulatorParams] = None,
     rescale: bool = True,
+    method: Optional[str] = None,
 ) -> EmulatorResult:
     """Build the ideal Section 3.2 emulator.
 
@@ -102,6 +163,11 @@ def build_emulator(
         ``r = log log n`` (:meth:`EmulatorParams.default_r`).
     hierarchy:
         Pre-sampled hierarchy (otherwise drawn with ``rng``).
+    method:
+        ``"batched"`` (level-bucketed sharded BFS, the default) or
+        ``"reference"`` (one BFS per vertex).  ``None`` resolves through
+        the kernel backend: ``force_backend("reference")`` selects the
+        per-vertex path, anything else the batched one.
     """
     if params is None:
         params = (
@@ -117,12 +183,69 @@ def build_emulator(
         raise ValueError(
             f"hierarchy has r={hierarchy.r} but params have r={params.r}"
         )
+    if method is None:
+        method = "reference" if resolve_backend() == "reference" else "batched"
+    if method not in ("batched", "reference"):
+        raise ValueError(f"unknown method {method!r}")
 
     emulator = WeightedGraph(g.n)
+    if method == "reference":
+        counts = _build_edges_reference(g, emulator, hierarchy, params)
+    else:
+        counts = _build_edges_batched(g, emulator, hierarchy, params)
+    per_level_edges, dense_counts, sparse_counts = counts
+
+    stats = {
+        "per_level_edges": per_level_edges,
+        "dense_counts": dense_counts,
+        "sparse_counts": sparse_counts,
+        "set_sizes": hierarchy.sizes(),
+    }
+    return EmulatorResult(
+        emulator=emulator, params=params, hierarchy=hierarchy, stats=stats
+    )
+
+
+def _build_edges_batched(
+    g: Graph,
+    emulator: WeightedGraph,
+    hierarchy: Hierarchy,
+    params: EmulatorParams,
+) -> Tuple[List[int], List[int], List[int]]:
+    """One sharded BFS per hierarchy level, bulk edge insertion per shard."""
+    r = params.r
     per_level_edges = [0] * (r + 1)
     dense_counts = [0] * (r + 1)
     sparse_counts = [0] * (r + 1)
+    for level in range(r + 1):
+        sources = np.flatnonzero(hierarchy.levels == level)
+        if sources.size == 0:
+            continue
+        radius = params.deltas[level]
+        for lo, hi, block in kernels.sharded_bfs(
+            g.indptr, g.indices, g.n, sources, max_dist=radius
+        ):
+            is_dense, us, vs, ws = edges_for_level(
+                level, sources[lo:hi], block, hierarchy
+            )
+            dense = int(is_dense.sum())
+            dense_counts[level] += dense
+            sparse_counts[level] += int(is_dense.size) - dense
+            per_level_edges[level] += emulator.add_edges_arrays(us, vs, ws)
+    return per_level_edges, dense_counts, sparse_counts
 
+
+def _build_edges_reference(
+    g: Graph,
+    emulator: WeightedGraph,
+    hierarchy: Hierarchy,
+    params: EmulatorParams,
+) -> Tuple[List[int], List[int], List[int]]:
+    """The original one-truncated-BFS-per-vertex construction loop."""
+    r = params.r
+    per_level_edges = [0] * (r + 1)
+    dense_counts = [0] * (r + 1)
+    sparse_counts = [0] * (r + 1)
     for v in range(g.n):
         level = int(hierarchy.levels[v])
         radius = params.deltas[level]
@@ -135,17 +258,8 @@ def build_emulator(
             dense_counts[level] += 1
         else:
             sparse_counts[level] += 1
-        before = emulator.m
+        added = 0
         for u, w in edges:
-            emulator.add_edge(v, u, w)
-        per_level_edges[level] += emulator.m - before
-
-    stats = {
-        "per_level_edges": per_level_edges,
-        "dense_counts": dense_counts,
-        "sparse_counts": sparse_counts,
-        "set_sizes": hierarchy.sizes(),
-    }
-    return EmulatorResult(
-        emulator=emulator, params=params, hierarchy=hierarchy, stats=stats
-    )
+            added += emulator.add_edge(v, u, w)
+        per_level_edges[level] += added
+    return per_level_edges, dense_counts, sparse_counts

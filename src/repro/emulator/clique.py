@@ -30,13 +30,15 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.ledger import RoundLedger
 from ..graph.distances import bfs_distances
 from ..graph.graph import Graph, WeightedGraph
+from ..kernels.config import resolve_backend
 from ..toolkit.hopsets import build_bounded_hopset
 from ..toolkit.nearest import kd_nearest_bfs
 from ..toolkit.source_detection import source_detection
-from .builder import EmulatorResult, edges_for_vertex
+from .builder import EmulatorResult, edges_for_level, edges_for_vertex
 from .params import EmulatorParams
 from .sampling import Hierarchy, sample_hierarchy
 
@@ -91,53 +93,15 @@ def build_emulator_cc(
     nearest, _ = kd_nearest_bfs(g, k, d, ledger=ledger)
 
     emulator = WeightedGraph(n)
-    heavy_count = 0
-    light_count = 0
-    patched_heavy = 0
-
     sr_mask = hierarchy.masks[r]
-    for v in range(n):
-        level = int(hierarchy.levels[v])
-        if level >= r:
-            continue  # S_r vertices handled by the hopset stage below
-        radius = params.deltas[level]
-        row = nearest[v]
-        finite = np.flatnonzero(np.isfinite(row))
-        order = np.lexsort((finite, row[finite]))
-        finite = finite[order]
-        within = finite[row[finite] <= radius]
-        is_light = within.size < k
-        if is_light:
-            light_count += 1
-            is_dense, edges = edges_for_vertex(
-                level, within, row[within], hierarchy
-            )
-            for u, w in edges:
-                emulator.add_edge(v, u, w)
-            continue
-        # Heavy: the k nearest all lie within radius; v should be dense.
-        heavy_count += 1
-        next_mask = hierarchy.masks[level + 1]
-        in_next = next_mask[finite]
-        if in_next.any():
-            pos = int(np.argmax(in_next))
-            emulator.add_edge(v, int(finite[pos]), float(row[finite[pos]]))
-        else:
-            # w.h.p. event of Claim 25 failed: exact fallback.
-            patched_heavy += 1
-            dist = bfs_distances(g, v, max_dist=radius)
-            cand = np.flatnonzero(next_mask & (dist <= radius))
-            if cand.size:
-                order2 = np.lexsort((cand, dist[cand]))
-                u = cand[order2[0]]
-                emulator.add_edge(v, int(u), float(dist[u]))
-            else:
-                inside = np.flatnonzero(dist <= radius)
-                order2 = np.lexsort((inside, dist[inside]))
-                inside = inside[order2]
-                _, edges = edges_for_vertex(level, inside, dist[inside], hierarchy)
-                for u, w in edges:
-                    emulator.add_edge(v, u, w)
+    if resolve_backend() == "reference":
+        heavy_count, light_count, patched_heavy = _light_heavy_edges_reference(
+            g, emulator, nearest, hierarchy, params, k
+        )
+    else:
+        heavy_count, light_count, patched_heavy = _light_heavy_edges_batched(
+            g, emulator, nearest, hierarchy, params, k
+        )
 
     # S_r x S_r edges via bounded hopset + source detection (Claim 27).
     sr = np.flatnonzero(sr_mask)
@@ -159,8 +123,7 @@ def build_emulator_cc(
         limit = (1.0 + eps_prime) * params.delta_r
         sub = dist[:, sr]
         ii, jj = np.nonzero(np.isfinite(sub) & (sub <= limit) & (sub > 0))
-        for a, b in zip(ii, jj):
-            emulator.add_edge(int(sr[a]), int(sr[b]), float(sub[a, b]))
+        emulator.add_edges_arrays(sr[ii], sr[jj], sub[ii, jj])
 
     stats = {
         "heavy_count": heavy_count,
@@ -178,3 +141,121 @@ def build_emulator_cc(
         stats=stats,
         ledger=ledger,
     )
+
+
+def _light_heavy_edges_batched(
+    g: Graph,
+    emulator: WeightedGraph,
+    nearest: np.ndarray,
+    hierarchy: Hierarchy,
+    params: EmulatorParams,
+    k: int,
+) -> tuple:
+    """Level-bucketed mask algebra over the shared ``(k, d)``-nearest
+    matrix: every light vertex of a level goes through
+    :func:`edges_for_level` at once, every heavy vertex picks its closest
+    next-level member by a row ``argmin``.  Only the (rare, counted)
+    Claim 25 patches fall back to per-vertex exact BFS."""
+    r = params.r
+    heavy_count = light_count = patched_heavy = 0
+    for level in range(r):
+        rows = np.flatnonzero(hierarchy.levels == level)
+        if rows.size == 0:
+            continue
+        radius = params.deltas[level]
+        block = nearest[rows]
+        finite = np.isfinite(block)
+        within = finite & (block <= radius)
+        light = within.sum(axis=1) < k
+        light_count += int(light.sum())
+        heavy_count += int(rows.size - light.sum())
+
+        light_rows = np.flatnonzero(light)
+        if light_rows.size:
+            ball_block = np.where(within[light_rows], block[light_rows], np.inf)
+            _, us, vs, ws = edges_for_level(
+                level, rows[light_rows], ball_block, hierarchy
+            )
+            emulator.add_edges_arrays(us, vs, ws)
+
+        heavy_rows = np.flatnonzero(~light)
+        if heavy_rows.size:
+            # Heavy: the k nearest all lie within radius; v should be dense.
+            in_next = finite[heavy_rows] & hierarchy.masks[level + 1]
+            hit, targets, weights = kernels.masked_row_argmin(
+                block[heavy_rows], in_next
+            )
+            emulator.add_edges_arrays(rows[heavy_rows[hit]], targets, weights)
+            missed = np.ones(heavy_rows.size, dtype=bool)
+            missed[hit] = False
+            for v in rows[heavy_rows[missed]]:
+                # w.h.p. event of Claim 25 failed: exact fallback.
+                patched_heavy += 1
+                _patch_heavy_vertex(g, emulator, int(v), level, radius, hierarchy)
+    return heavy_count, light_count, patched_heavy
+
+
+def _light_heavy_edges_reference(
+    g: Graph,
+    emulator: WeightedGraph,
+    nearest: np.ndarray,
+    hierarchy: Hierarchy,
+    params: EmulatorParams,
+    k: int,
+) -> tuple:
+    """The original one-vertex-at-a-time light/heavy loop."""
+    r = params.r
+    heavy_count = light_count = patched_heavy = 0
+    for v in range(g.n):
+        level = int(hierarchy.levels[v])
+        if level >= r:
+            continue  # S_r vertices handled by the hopset stage
+        radius = params.deltas[level]
+        row = nearest[v]
+        finite = np.flatnonzero(np.isfinite(row))
+        order = np.lexsort((finite, row[finite]))
+        finite = finite[order]
+        within = finite[row[finite] <= radius]
+        if within.size < k:
+            light_count += 1
+            _, edges = edges_for_vertex(level, within, row[within], hierarchy)
+            for u, w in edges:
+                emulator.add_edge(v, u, w)
+            continue
+        # Heavy: the k nearest all lie within radius; v should be dense.
+        heavy_count += 1
+        in_next = hierarchy.masks[level + 1][finite]
+        if in_next.any():
+            pos = int(np.argmax(in_next))
+            emulator.add_edge(v, int(finite[pos]), float(row[finite[pos]]))
+        else:
+            # w.h.p. event of Claim 25 failed: exact fallback.
+            patched_heavy += 1
+            _patch_heavy_vertex(g, emulator, v, level, radius, hierarchy)
+    return heavy_count, light_count, patched_heavy
+
+
+def _patch_heavy_vertex(
+    g: Graph,
+    emulator: WeightedGraph,
+    v: int,
+    level: int,
+    radius: float,
+    hierarchy: Hierarchy,
+) -> None:
+    """Exact-ball fallback for a heavy vertex whose ``k``-nearest missed
+    ``S_{level+1}`` (the deterministic patch of the Claim 25 event)."""
+    next_mask = hierarchy.masks[level + 1]
+    dist = bfs_distances(g, v, max_dist=radius)
+    cand = np.flatnonzero(next_mask & (dist <= radius))
+    if cand.size:
+        order = np.lexsort((cand, dist[cand]))
+        u = cand[order[0]]
+        emulator.add_edge(v, int(u), float(dist[u]))
+    else:
+        inside = np.flatnonzero(dist <= radius)
+        order = np.lexsort((inside, dist[inside]))
+        inside = inside[order]
+        _, edges = edges_for_vertex(level, inside, dist[inside], hierarchy)
+        for u, w in edges:
+            emulator.add_edge(v, u, w)

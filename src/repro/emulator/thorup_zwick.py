@@ -27,8 +27,10 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..graph.distances import bfs_distances
 from ..graph.graph import Graph, WeightedGraph
+from ..kernels.config import resolve_backend
 from .sampling import Hierarchy, sample_hierarchy
 
 __all__ = ["TZEmulator", "build_tz_emulator"]
@@ -53,28 +55,67 @@ def build_tz_emulator(
     rng: Optional[np.random.Generator] = None,
     hierarchy: Optional[Hierarchy] = None,
 ) -> TZEmulator:
-    """Build the global Thorup–Zwick emulator over ``r`` sampled levels."""
+    """Build the global Thorup–Zwick emulator over ``r`` sampled levels.
+
+    The default path shards the global (unbounded) BFS waves with
+    :func:`repro.kernels.sharded_bfs` and applies the pivot/bunch rule to
+    each level bucket of a shard with mask algebra;
+    ``force_backend("reference")`` selects the original per-vertex loop.
+    Both produce bit-identical emulators.
+    """
     if hierarchy is None:
         if rng is None:
             rng = np.random.default_rng(0)
         hierarchy = sample_hierarchy(g.n, r, rng)
     emulator = WeightedGraph(g.n)
     masks = hierarchy.masks
-    for v in range(g.n):
-        level = int(hierarchy.levels[v])
-        dist = bfs_distances(g, v)  # global exploration
-        next_members = np.flatnonzero(masks[level + 1] & np.isfinite(dist))
-        if next_members.size:
-            order = np.lexsort((next_members, dist[next_members]))
-            pivot = int(next_members[order[0]])
-            pivot_dist = dist[pivot]
-            emulator.add_edge(v, pivot, float(pivot_dist))
-        else:
-            pivot_dist = np.inf
-        own = np.flatnonzero(
-            masks[level] & np.isfinite(dist) & (dist < pivot_dist)
-        )
-        for u in own:
-            if int(u) != v:
-                emulator.add_edge(v, int(u), float(dist[u]))
+    if resolve_backend() == "reference":
+        for v in range(g.n):
+            level = int(hierarchy.levels[v])
+            dist = bfs_distances(g, v)  # global exploration
+            next_members = np.flatnonzero(masks[level + 1] & np.isfinite(dist))
+            if next_members.size:
+                order = np.lexsort((next_members, dist[next_members]))
+                pivot = int(next_members[order[0]])
+                pivot_dist = dist[pivot]
+                emulator.add_edge(v, pivot, float(pivot_dist))
+            else:
+                pivot_dist = np.inf
+            own = np.flatnonzero(
+                masks[level] & np.isfinite(dist) & (dist < pivot_dist)
+            )
+            for u in own:
+                if int(u) != v:
+                    emulator.add_edge(v, int(u), float(dist[u]))
+        return TZEmulator(emulator=emulator, hierarchy=hierarchy)
+
+    all_vertices = np.arange(g.n, dtype=np.int64)
+    for lo, hi, block in kernels.sharded_bfs(
+        g.indptr, g.indices, g.n, all_vertices
+    ):
+        srcs = all_vertices[lo:hi]
+        finite = np.isfinite(block)
+        shard_levels = hierarchy.levels[srcs]
+        for level in np.unique(shard_levels):
+            rows = np.flatnonzero(shard_levels == level)
+            sub = block[rows]
+            in_next = finite[rows] & masks[level + 1]
+            # Pivot: globally closest S_{level+1} member, ties by id.
+            piv_rows, pivots, piv_weights = kernels.masked_row_argmin(
+                sub, in_next
+            )
+            pivot_dist = np.full(rows.size, np.inf)
+            pivot_dist[piv_rows] = piv_weights
+            emulator.add_edges_arrays(srcs[rows[piv_rows]], pivots, piv_weights)
+            # Bunch: every S_level member strictly closer than the pivot
+            # (everything reachable in S_level when no pivot exists);
+            # sub > 0 excludes v itself, matching the per-vertex loop.
+            own = (
+                finite[rows] & masks[level]
+                & (sub < pivot_dist[:, None]) & (sub > 0)
+            )
+            own_rows, own_cols = np.nonzero(own)
+            emulator.add_edges_arrays(
+                srcs[rows[own_rows]], own_cols, sub[own_rows, own_cols]
+            )
     return TZEmulator(emulator=emulator, hierarchy=hierarchy)

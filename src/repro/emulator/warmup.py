@@ -16,6 +16,13 @@ The "w.h.p." events (high-degree vertices have ``S_1`` neighbours; dense
 when the random draw misses them — the patch falls back to the sparse rule,
 preserving the stretch guarantee at the price of extra edges, and the patch
 counts are reported in the stats (they vanish as ``n`` grows).
+
+The default path runs every rule batched: rule 1 is edge-array mask
+algebra plus one slab gather for the high-degree ``S_1`` neighbours, rules
+2 and 3 run one :func:`repro.kernels.sharded_bfs` each over ``S_1`` /
+``S_2`` instead of a BFS per vertex.  ``force_backend("reference")``
+selects the original per-vertex loops; both paths produce bit-identical
+emulators and stats.
 """
 
 from __future__ import annotations
@@ -26,8 +33,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from .. import kernels
 from ..graph.distances import bfs_distances
 from ..graph.graph import Graph, WeightedGraph
+from ..kernels.config import resolve_backend
+from ..kernels.csr import slab_gather_owners
 
 __all__ = ["WarmupEmulator", "build_warmup_emulator"]
 
@@ -84,6 +94,122 @@ def build_warmup_emulator(
             raise ValueError("S_2 must be a subset of S_1")
     emulator = WeightedGraph(n)
     stats = {"patched_high_degree": 0, "patched_s1_ball": 0}
+    radius = 1.0 / eps + 2.0
+    ball_bound = math.sqrt(n) * logn
+
+    if resolve_backend() == "reference":
+        _warmup_rules_reference(
+            g, emulator, s1_mask, s2_mask, degree_threshold, radius,
+            ball_bound, stats,
+        )
+    else:
+        _warmup_rules_batched(
+            g, emulator, s1_mask, s2_mask, degree_threshold, radius,
+            ball_bound, stats,
+        )
+
+    return WarmupEmulator(
+        emulator=emulator,
+        eps=eps,
+        s1=np.flatnonzero(s1_mask),
+        s2=np.flatnonzero(s2_mask),
+        stats=stats,
+    )
+
+
+def _warmup_rules_batched(
+    g: Graph,
+    emulator: WeightedGraph,
+    s1_mask: np.ndarray,
+    s2_mask: np.ndarray,
+    degree_threshold: float,
+    radius: float,
+    ball_bound: float,
+    stats: Dict[str, int],
+) -> None:
+    """All three rules as bulk array operations (no per-vertex BFS)."""
+    n = g.n
+
+    # Rule 1: low-degree edges / high-degree S_1 neighbour.
+    degrees = g.degrees()
+    low = degrees <= degree_threshold
+    e = g.edges()
+    if len(e):
+        keep = low[e[:, 0]] | low[e[:, 1]]
+        kept = e[keep]
+        emulator.add_edges_arrays(kept[:, 0], kept[:, 1], np.ones(len(kept)))
+    high = np.flatnonzero(~low)
+    if high.size:
+        # First S_1 neighbour per high-degree vertex: one slab gather; CSR
+        # slabs are id-sorted, so the first hit is the smallest-id member.
+        owners, nbrs = slab_gather_owners(
+            g.indptr, g.indices, high, np.arange(high.size, dtype=np.int64)
+        )
+        hit = s1_mask[nbrs]
+        first_owner, first_pos = np.unique(owners[hit], return_index=True)
+        targets = nbrs[hit][first_pos]
+        emulator.add_edges_arrays(
+            high[first_owner], targets, np.ones(first_owner.size)
+        )
+        # w.h.p. event failed at this small n: patch by keeping all
+        # incident edges (the low-degree rule), preserving stretch.
+        missed = np.ones(high.size, dtype=bool)
+        missed[first_owner] = False
+        patched = high[missed]
+        stats["patched_high_degree"] += int(patched.size)
+        if patched.size:
+            p_owners, p_nbrs = slab_gather_owners(
+                g.indptr, g.indices, patched, patched
+            )
+            emulator.add_edges_arrays(p_owners, p_nbrs, np.ones(p_nbrs.size))
+
+    # Rule 2: S_1 balls of radius 1/eps + 2, one sharded BFS for all of S_1.
+    s1 = np.flatnonzero(s1_mask)
+    for lo, hi, block in kernels.sharded_bfs(
+        g.indptr, g.indices, n, s1, max_dist=radius
+    ):
+        srcs = s1[lo:hi]
+        positive = np.isfinite(block) & (block > 0)
+        inside_s1 = positive & s1_mask
+        counts = inside_s1.sum(axis=1)
+        small = counts <= ball_bound
+        big_rows = np.flatnonzero(~small)
+        inside_s2 = positive[big_rows] & s2_mask
+        # Dense balls with an S_2 representative: closest one (ties by id).
+        with_rep, reps, rep_weights = kernels.masked_row_argmin(
+            block[big_rows], inside_s2
+        )
+        rep_rows = big_rows[with_rep]
+        emulator.add_edges_arrays(srcs[rep_rows], reps, rep_weights)
+        # Sparse balls, plus dense balls the S_2 draw missed (patched):
+        # connect to every S_1 ball member.
+        stats["patched_s1_ball"] += int(big_rows.size - rep_rows.size)
+        take = small.copy()
+        take[big_rows] = True
+        take[rep_rows] = False
+        rows, cols = np.nonzero(inside_s1 & take[:, None])
+        emulator.add_edges_arrays(srcs[rows], cols, block[rows, cols])
+
+    # Rule 3: S_2 to everyone (unbounded BFS, sharded).
+    s2 = np.flatnonzero(s2_mask)
+    for lo, hi, block in kernels.sharded_bfs(g.indptr, g.indices, n, s2):
+        srcs = s2[lo:hi]
+        rows, cols = np.nonzero(np.isfinite(block) & (block > 0))
+        emulator.add_edges_arrays(srcs[rows], cols, block[rows, cols])
+
+
+def _warmup_rules_reference(
+    g: Graph,
+    emulator: WeightedGraph,
+    s1_mask: np.ndarray,
+    s2_mask: np.ndarray,
+    degree_threshold: float,
+    radius: float,
+    ball_bound: float,
+    stats: Dict[str, int],
+) -> None:
+    """The original per-vertex rule loops."""
+    n = g.n
 
     # Rule 1: low-degree edges / high-degree S_1 neighbour.
     degrees = g.degrees()
@@ -104,8 +230,6 @@ def build_warmup_emulator(
                     emulator.add_edge(v, int(u), 1.0)
 
     # Rule 2: S_1 balls of radius 1/eps + 2.
-    radius = 1.0 / eps + 2.0
-    ball_bound = math.sqrt(n) * logn
     for v in np.flatnonzero(s1_mask):
         dist = bfs_distances(g, int(v), max_dist=radius)
         inside = np.flatnonzero(dist <= radius)
@@ -130,11 +254,3 @@ def build_warmup_emulator(
         for u in np.flatnonzero(np.isfinite(dist)):
             if u != v:
                 emulator.add_edge(int(v), int(u), float(dist[u]))
-
-    return WarmupEmulator(
-        emulator=emulator,
-        eps=eps,
-        s1=np.flatnonzero(s1_mask),
-        s2=np.flatnonzero(s2_mask),
-        stats=stats,
-    )

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..cliquesim.ledger import RoundLedger
 from ..graph.graph import Graph
+from ..kernels.config import resolve_backend
 from ..toolkit.nearest import kd_nearest_bfs
 from .builder import EmulatorResult, edges_for_vertex
 from .clique import build_emulator_cc
@@ -56,7 +57,56 @@ def evaluate_draw(
     k: int,
 ) -> DrawEvaluation:
     """Evaluate one hierarchy draw against the three Claim 30 events, using
-    only the shared ``(k, delta_r)``-nearest output (no new BFS)."""
+    only the shared ``(k, delta_r)``-nearest output (no new BFS).
+
+    Rows are bucketed by level and counted with the same mask algebra as
+    the batched emulator build (one pass over the whole level's rows);
+    ``force_backend("reference")`` routes to the original per-vertex loop.
+    """
+    r = params.r
+    sr_mask = hierarchy.masks[r]
+    if resolve_backend() == "reference":
+        return _evaluate_draw_reference(nearest, hierarchy, params, k)
+    edges = 0
+    heavy_all_hit = True
+    for level in range(r):
+        rows = np.flatnonzero(hierarchy.levels == level)
+        if rows.size == 0:
+            continue
+        radius = params.deltas[level]
+        block = nearest[rows]
+        finite = np.isfinite(block)
+        within = finite & (block <= radius)
+        light = within.sum(axis=1) < k
+        # Light rows: one edge if the ball meets S_{level+1}, else one per
+        # S_level ball member at positive distance (the edge rule's count).
+        light_within = within[light]
+        dense = (light_within & hierarchy.masks[level + 1]).any(axis=1)
+        sparse_counts = (
+            light_within[~dense]
+            & hierarchy.masks[level]
+            & (block[light][~dense] > 0)
+        ).sum()
+        edges += int(dense.sum()) + int(sparse_counts)
+        # Heavy rows: one edge each; the Claim 30 hit event is checked.
+        heavy = ~light
+        edges += int(heavy.sum())
+        if heavy.any() and not (finite[heavy] & sr_mask).any(axis=1).all():
+            heavy_all_hit = False
+    return DrawEvaluation(
+        non_sr_edges=edges,
+        sr_size=int(sr_mask.sum()),
+        heavy_all_hit=heavy_all_hit,
+    )
+
+
+def _evaluate_draw_reference(
+    nearest: np.ndarray,
+    hierarchy: Hierarchy,
+    params: EmulatorParams,
+    k: int,
+) -> DrawEvaluation:
+    """The original one-vertex-at-a-time Claim 30 evaluation loop."""
     n = nearest.shape[0]
     r = params.r
     sr_mask = hierarchy.masks[r]

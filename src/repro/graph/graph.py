@@ -123,8 +123,8 @@ class Graph:
         """A unit-weight :class:`WeightedGraph` copy of this graph."""
         w = WeightedGraph(self.n)
         e = self._edge_array
-        for u, v in e:
-            w.add_edge(int(u), int(v), 1.0)
+        if len(e):
+            w.add_edges_arrays(e[:, 0], e[:, 1], np.ones(len(e)))
         return w
 
     # ------------------------------------------------------------------
@@ -148,29 +148,85 @@ class WeightedGraph:
     weighted by (approximate) distances possibly multiple times.
     """
 
-    __slots__ = ("n", "_adj")
+    __slots__ = ("n", "_adj", "_m", "_edge_cache")
 
     def __init__(self, n: int):
         if n < 0:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self.n = int(n)
         self._adj: List[Dict[int, float]] = [dict() for _ in range(n)]
+        self._m = 0
+        self._edge_cache: Tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def add_edge(self, u: int, v: int, weight: float) -> None:
-        """Insert ``{u, v}`` with ``weight``; keeps the minimum on duplicates."""
+    def add_edge(self, u: int, v: int, weight: float) -> bool:
+        """Insert ``{u, v}`` with ``weight``; keeps the minimum on duplicates.
+        Returns True iff the edge did not exist before (weight updates on an
+        existing edge return False)."""
         if u == v:
-            return
+            return False
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise IndexError(f"edge ({u}, {v}) out of range for n={self.n}")
         if weight < 0:
             raise ValueError(f"negative weight {weight} on edge ({u}, {v})")
         cur = self._adj[u].get(v)
-        if cur is None or weight < cur:
+        if cur is None:
             self._adj[u][v] = float(weight)
             self._adj[v][u] = float(weight)
+            self._m += 1
+            self._edge_cache = None
+            return True
+        if weight < cur:
+            self._adj[u][v] = float(weight)
+            self._adj[v][u] = float(weight)
+            self._edge_cache = None
+        return False
+
+    def add_edges_arrays(
+        self, us: np.ndarray, vs: np.ndarray, ws: np.ndarray
+    ) -> int:
+        """Bulk-insert parallel edge arrays ``(us[i], vs[i], ws[i])`` with
+        min-combining; self loops are skipped (matching :meth:`add_edge`).
+        Returns the number of *new* edges created (duplicates inside the
+        arrays count once; weight updates on existing edges count zero).
+
+        Validation is vectorized up front so the insertion loop is pure
+        dict traffic — this is the bulk path the batched emulator/hopset
+        builders use instead of per-edge :meth:`add_edge` calls.
+        """
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        ws = np.asarray(ws, dtype=np.float64)
+        if not (us.shape == vs.shape == ws.shape) or us.ndim != 1:
+            raise ValueError("us, vs, ws must be equal-length 1-D arrays")
+        if us.size == 0:
+            return 0
+        if (
+            (us < 0).any() or (us >= self.n).any()
+            or (vs < 0).any() or (vs >= self.n).any()
+        ):
+            raise IndexError(f"edge endpoint out of range for n={self.n}")
+        if (ws < 0).any():
+            raise ValueError("negative weight in bulk edge insert")
+        added = 0
+        adj = self._adj
+        for u, v, w in zip(us.tolist(), vs.tolist(), ws.tolist()):
+            if u == v:
+                continue
+            row = adj[u]
+            cur = row.get(v)
+            if cur is None:
+                row[v] = w
+                adj[v][u] = w
+                added += 1
+            elif w < cur:
+                row[v] = w
+                adj[v][u] = w
+        self._edge_cache = None
+        self._m += added
+        return added
 
     def add_edges_from(self, triples: Iterable[Tuple[int, int, float]]) -> None:
         """Insert many ``(u, v, weight)`` edges."""
@@ -181,10 +237,7 @@ class WeightedGraph:
         """In-place union with ``other`` (min weight on common edges)."""
         if other.n != self.n:
             raise ValueError("union of graphs with different vertex counts")
-        for u in range(other.n):
-            for v, w in other._adj[u].items():
-                if u < v:
-                    self.add_edge(u, v, w)
+        self.add_edges_arrays(*other.edge_arrays())
 
     # ------------------------------------------------------------------
     # Queries
@@ -203,8 +256,8 @@ class WeightedGraph:
 
     @property
     def m(self) -> int:
-        """Number of (undirected) edges."""
-        return sum(len(a) for a in self._adj) // 2
+        """Number of (undirected) edges (O(1): maintained incrementally)."""
+        return self._m
 
     def edges(self) -> Iterator[Tuple[int, int, float]]:
         """Iterate over ``(u, v, weight)`` with ``u < v``."""
@@ -214,23 +267,38 @@ class WeightedGraph:
                     yield u, v, w
 
     def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Edge list as parallel arrays ``(us, vs, ws)`` with ``u < v``."""
-        us, vs, ws = [], [], []
-        for u, v, w in self.edges():
-            us.append(u)
-            vs.append(v)
-            ws.append(w)
-        return (
-            np.asarray(us, dtype=np.int64),
-            np.asarray(vs, dtype=np.int64),
-            np.asarray(ws, dtype=np.float64),
-        )
+        """Edge list as parallel arrays ``(us, vs, ws)`` with ``u < v``,
+        sorted by ``(u, v)``.
+
+        The arrays are memoized on the instance (every mutation
+        invalidates the cache) because `source_detection`/hopset pipelines
+        re-read them many times per build; treat them as read-only views.
+        """
+        if self._edge_cache is None:
+            us, vs, ws = [], [], []
+            for u, v, w in self.edges():
+                us.append(u)
+                vs.append(v)
+                ws.append(w)
+            ua = np.asarray(us, dtype=np.int64)
+            va = np.asarray(vs, dtype=np.int64)
+            wa = np.asarray(ws, dtype=np.float64)
+            # Canonical (u, v) order: edges() yields v in dict-insertion
+            # order, which depends on the build path (per-vertex vs
+            # batched); sorting makes the arrays path-independent.
+            order = np.lexsort((va, ua))
+            cached = (ua[order], va[order], wa[order])
+            for arr in cached:
+                arr.setflags(write=False)
+            self._edge_cache = cached
+        return self._edge_cache
 
     def copy(self) -> "WeightedGraph":
         """A deep copy."""
         g = WeightedGraph(self.n)
         for u in range(self.n):
             g._adj[u] = dict(self._adj[u])
+        g._m = self._m
         return g
 
     @classmethod

@@ -6,8 +6,10 @@ dispatcher (see DESIGN.md for the layer's contract and fidelity policy):
 
 * :func:`minplus` — sparse/dense/reference min-plus products (Theorem 36);
 * :func:`filter_rows` — row-wise top-``rho`` filtering (Theorem 58);
-* :func:`multi_source_bfs` / :func:`batched_bfs` — frontier BFS with a
-  batched multi-wave variant (the ``(k, d)``-nearest substrate);
+* :func:`multi_source_bfs` / :func:`batched_bfs` / :func:`sharded_bfs` —
+  frontier BFS: one wave, many simultaneous waves (the ``(k, d)``-nearest
+  substrate), and the memory-bounded sharded form with per-source radii
+  (the batched emulator/hopset construction substrate);
 * :func:`hop_limited_relax` — the Bellman–Ford relaxation core
   (``(S, d)``-source detection).
 
@@ -17,7 +19,7 @@ Backends are selected per call (``backend=``), per process
 bit-identical to the original implementations).
 """
 
-from .bfs import batched_bfs, multi_source_bfs
+from .bfs import batched_bfs, multi_source_bfs, sharded_bfs
 from .config import (
     BACKENDS,
     force_backend,
@@ -34,7 +36,7 @@ from .csr import (
 )
 from .minplus import auto_block, finite_fraction, minplus, minplus_csr, minplus_dense
 from .relax import hop_limited_relax
-from .topk import filter_rows
+from .topk import filter_rows, masked_row_argmin
 
 __all__ = [
     "BACKENDS",
@@ -48,12 +50,14 @@ __all__ = [
     "force_backend",
     "get_default_backend",
     "hop_limited_relax",
+    "masked_row_argmin",
     "minplus",
     "minplus_csr",
     "minplus_dense",
     "multi_source_bfs",
     "resolve_backend",
     "set_default_backend",
+    "sharded_bfs",
     "slab_gather",
     "slab_gather_owners",
 ]

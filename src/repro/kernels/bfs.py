@@ -1,16 +1,21 @@
 """Vectorized frontier BFS kernels.
 
-Both kernels are level-synchronous BFS over an adjacency CSR
-``(indptr, indices)``.  The frontier expansion is a single
-:func:`repro.kernels.csr.slab_gather` (``np.repeat`` arithmetic) instead
-of a per-vertex list comprehension, and deduplication is a boolean
-scatter instead of ``np.unique`` — no Python work per vertex.
+All kernels are level-synchronous BFS over an adjacency CSR
+``(indptr, indices)``; no Python work per vertex.
 
-:func:`batched_bfs` runs *many independent* BFS waves at once by keying
-frontier members as flat ``(wave, vertex)`` pairs; one gather expands
-every wave's frontier simultaneously.  This is what lets
-``(k, d)``-nearest (Theorem 10's oracle substrate) run all ``n`` truncated
-BFS calls in one pass.
+:func:`multi_source_bfs` runs one wave.  :func:`batched_bfs` runs *many
+independent* waves at once and returns the full ``(len(sources), n)``
+matrix — the ``(k, d)``-nearest substrate (Theorem 10).
+:func:`sharded_bfs` is its bounded-memory form: a generator that
+processes sources in column shards of ``O(shard · n)`` memory and
+supports per-source radii, which is what lets emulator construction
+bucket vertices by hierarchy level and scale to ``n >= 10^4``.
+
+Wave expansion (:func:`_batched_wave`) adaptively switches per level
+between a flat ``(vertex, wave)`` key space (cost ∝ frontier size) and a
+bit-packed frontier advanced by a segmented ``bitwise_or.reduceat`` over
+the CSR (cost ``nnz · waves / 64`` words — the winner when many deep
+waves flood the graph together).  Both produce identical level maps.
 """
 
 from __future__ import annotations
@@ -23,11 +28,16 @@ from .config import resolve_backend
 from .csr import slab_gather, slab_gather_owners
 from .reference import batched_bfs_reference, multi_source_bfs_reference
 
-__all__ = ["multi_source_bfs", "batched_bfs"]
+__all__ = ["multi_source_bfs", "batched_bfs", "sharded_bfs"]
 
 # Flat (wave, vertex) key-space budget per batch of waves (~128 MB of
 # transient boolean masks at the default).
 _BATCH_KEY_BUDGET = 1 << 27
+
+# Float budget for the live distance blocks of one shard (~64 MB at the
+# default, split between the yielded block and the wave kernel's
+# vertex-major working copy).
+_SHARD_FLOAT_BUDGET = 1 << 23
 
 
 def multi_source_bfs(
@@ -88,29 +98,211 @@ def batched_bfs(
         return dist
     if batch_size is None:
         batch_size = max(1, _BATCH_KEY_BUDGET // n)
+    radii = np.full(sources.size, max_dist)
     for lo in range(0, sources.size, batch_size):
         hi = min(sources.size, lo + batch_size)
-        _batched_wave(indptr, indices, n, sources[lo:hi], max_dist, dist[lo:hi])
+        _batched_wave(indptr, indices, n, sources[lo:hi], radii[lo:hi], dist[lo:hi])
     return dist
 
 
-def _batched_wave(indptr, indices, n, src, max_dist, dist) -> None:
-    """Run ``src.size`` simultaneous BFS waves, writing into ``dist``."""
+def sharded_bfs(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    n: int,
+    sources,
+    max_dist=np.inf,
+    backend: Optional[str] = None,
+    shard_size: Optional[int] = None,
+):
+    """Radius-bounded batched BFS over column shards of ``sources``.
+
+    A generator yielding ``(lo, hi, block)`` triples where ``block`` is the
+    ``(hi - lo, n)`` truncated-BFS distance matrix of ``sources[lo:hi]`` —
+    row ``i`` is the wave of ``sources[lo + i]``.  Unlike
+    :func:`batched_bfs` the full ``(len(sources), n)`` matrix is never
+    materialized: peak memory is ``O(shard_size · n)`` (two float blocks —
+    the yielded one plus the wave kernel's vertex-major working copy —
+    which the default ``shard_size`` already accounts for), which is what
+    opens ``n >= 10^4`` emulator builds.
+
+    ``max_dist`` may be a scalar or a per-source array — each wave is
+    spilled from the shared frontier as soon as its own radius is
+    exhausted, so mixed-radius shards (vertices of different hierarchy
+    levels) cost only as much as their deepest wave.  Fractional radii are
+    floored (BFS levels are integral).
+
+    Consumers must finish with a block before requesting the next one;
+    blocks may be reused internally.
+    """
+    sources = np.asarray(list(sources), dtype=np.int64)
+    radii = np.floor(np.broadcast_to(np.asarray(max_dist, dtype=np.float64),
+                                     sources.shape)).copy()
+    if shard_size is None:
+        # Two live (shard, n) float blocks per shard: the yielded block
+        # and _batched_wave's transposed working copy.
+        shard_size = max(1, _SHARD_FLOAT_BUDGET // (2 * max(n, 1)))
+    reference = resolve_backend(backend) == "reference"
+    for lo in range(0, sources.size, shard_size):
+        hi = min(sources.size, lo + shard_size)
+        if reference:
+            block = np.full((hi - lo, n), np.inf)
+            for i in range(lo, hi):
+                block[i - lo] = multi_source_bfs_reference(
+                    indptr, indices, n, [int(sources[i])], radii[i]
+                )
+        else:
+            block = np.full((hi - lo, n), np.inf)
+            if n:
+                _batched_wave(
+                    indptr, indices, n, sources[lo:hi], radii[lo:hi], block
+                )
+        yield lo, hi, block
+
+
+# Below this many waves the bit-packed expansion is never worth its
+# per-level full-CSR pass; above it, the mode is chosen per level.
+_BITS_MIN_WAVES = 64
+
+# A candidate (wave, vertex) frontier pair costs roughly this many bytes
+# of int64 traffic in the flat-key expansion (positions, owners, keys,
+# scatter); compared against the bit-packed pass's estimated byte traffic
+# to pick the expansion scheme each level.
+_KEY_PAIR_COST = 40
+
+
+def _batched_wave(indptr, indices, n, src, radii, dist) -> None:
+    """Run ``src.size`` simultaneous BFS waves, writing into ``dist``.
+    ``radii[i]`` truncates wave ``i``; its row stops expanding (is spilled
+    from the frontier) once the level exceeds it.
+
+    Each level is expanded by one of two interchangeable schemes (the
+    output is identical — level-synchronous BFS):
+
+    * **flat keys** — frontier members are ``vertex * waves + wave``
+      values; a slab gather expands them.  Cost proportional to the
+      frontier's degree sum, best for small or shallow frontiers.
+    * **bit-packed** — wave ``i`` is bit ``i`` of a per-vertex bit row;
+      one gather plus a segmented ``bitwise_or.reduceat`` (both through a
+      ``uint64`` view) advances *every* wave at once for
+      ``nnz · waves / 64`` words, best when many deep waves flood the
+      graph together.
+
+    The scheme is chosen per level from the measured frontier size, so a
+    run can start bit-packed while waves flood the graph and finish on
+    flat keys once only a few waves remain alive.  The frontier always
+    exists as ``(fr_vert, fr_wave)`` pair arrays (they also drive the
+    distance writes); the bit rows are carried alongside only while the
+    bit-packed scheme runs.
+    """
     waves = src.size
-    flat = dist.ravel()  # view: dist is a contiguous row-slice
+    # Vertex-major working copy: bit rows, frontier keys and the level
+    # writes all touch contiguous memory this way round; one transpose at
+    # the end restores the (waves, n) output layout.
+    dist_t = np.full((n, waves), np.inf)
+    flat = dist_t.ravel()
     fr_wave = np.arange(waves, dtype=np.int64)
     fr_vert = src.copy()
-    flat[fr_wave * n + fr_vert] = 0.0
+    flat[fr_vert * waves + fr_wave] = 0.0
+
+    deg = np.diff(indptr)
+    nnz = int(indices.size)
+    width64 = (waves + 63) // 64
+    width = width64 * 8  # bit-row bytes, uint64-aligned
+    use_bits_ever = waves >= _BITS_MIN_WAVES and nnz > 0
+    bits_level_cost = nnz * width // 4 + 4 * n * width
+    visited_bits = None
+    frontier_bits = None  # valid iff the previous level ran bit-packed
+    offsets = None
+    row_has_nbrs = None
+
+    # With one shared radius (every per-level / per-shard caller) the
+    # spill check degenerates to a single scalar comparison per level.
+    uniform_radius = bool(radii.min() == radii.max()) if waves else True
+
     level = 0
-    while fr_vert.size and level < max_dist:
+    while fr_vert.size:
         level += 1
-        owners, nbrs = slab_gather_owners(indptr, indices, fr_vert, fr_wave)
-        if nbrs.size == 0:
+        if uniform_radius:
+            if radii[0] < level:
+                break
+        else:
+            alive = radii[fr_wave] >= level
+            if not alive.all():
+                fr_wave = fr_wave[alive]
+                fr_vert = fr_vert[alive]
+                if fr_vert.size == 0:
+                    break
+                if frontier_bits is not None:
+                    keep = np.zeros(width, dtype=np.uint8)
+                    packed = np.packbits(radii >= level, bitorder="little")
+                    keep[: packed.size] = packed
+                    frontier_bits &= keep
+        expanded = int(deg[fr_vert].sum())
+        if expanded == 0:
             break
-        keys = owners * np.int64(n) + nbrs
-        mark = np.zeros(waves * n, dtype=bool)
-        mark[keys] = True
-        mark &= np.isinf(flat)
-        new_keys = np.flatnonzero(mark)
-        flat[new_keys] = level
-        fr_wave, fr_vert = np.divmod(new_keys, n)
+
+        if use_bits_ever and expanded * _KEY_PAIR_COST > bits_level_cost:
+            if visited_bits is None:
+                # First bit-packed level: build the visited bit rows from
+                # the distances found so far (finite = visited).
+                visited_bits = np.zeros((n, width), dtype=np.uint8)
+                packed = np.packbits(
+                    np.isfinite(dist_t), axis=1, bitorder="little"
+                )
+                visited_bits[:, : packed.shape[1]] = packed
+                row_has_nbrs = np.flatnonzero(deg > 0)
+                offsets = indptr[row_has_nbrs]
+            if frontier_bits is None:
+                frontier_bits = np.zeros((n, width), dtype=np.uint8)
+                np.bitwise_or.at(
+                    frontier_bits,
+                    (fr_vert, fr_wave >> 3),
+                    np.uint8(1) << (fr_wave & 7).astype(np.uint8),
+                )
+            gathered = frontier_bits.view(np.uint64)[indices]
+            neigh = np.zeros((n, width64), dtype=np.uint64)
+            neigh[row_has_nbrs] = np.bitwise_or.reduceat(
+                gathered, offsets, axis=0
+            )
+            new = neigh & ~visited_bits.view(np.uint64)
+            active = np.flatnonzero(new.any(axis=1))
+            if active.size == 0:
+                break
+            visited_bits.view(np.uint64)[...] |= new
+            new8 = new.view(np.uint8)
+            # Unpack the full (padded) bit width and scan the contiguous
+            # buffer — padding bits are never set, and flatnonzero on a
+            # contiguous array is far faster than a strided 2-D nonzero.
+            unpacked = np.unpackbits(new8[active], axis=1, bitorder="little")
+            hits = np.flatnonzero(unpacked.ravel())
+            rows, fr_wave = np.divmod(hits, np.int64(8 * width))
+            fr_vert = active[rows]
+            flat[fr_vert * waves + fr_wave] = level
+            frontier_bits = new8
+        else:
+            frontier_bits = None
+            owners, nbrs = slab_gather_owners(indptr, indices, fr_vert, fr_wave)
+            if nbrs.size == 0:
+                break
+            keys = nbrs * np.int64(waves) + owners
+            if keys.size * 16 < n * waves:
+                # Sparse frontier: sort-dedup beats a full mark array.
+                keys = np.unique(keys)
+                keys = keys[np.isinf(flat[keys])]
+            else:
+                mark = np.zeros(n * waves, dtype=bool)
+                mark[keys] = True
+                mark &= np.isinf(flat)
+                keys = np.flatnonzero(mark)
+            flat[keys] = level
+            fr_vert, fr_wave = np.divmod(keys, waves)
+            if visited_bits is not None and fr_vert.size:
+                np.bitwise_or.at(
+                    visited_bits,
+                    (fr_vert, fr_wave >> 3),
+                    np.uint8(1) << (fr_wave & 7).astype(np.uint8),
+                )
+    # Cache-blocked transpose back to the (waves, n) output layout (a
+    # straight `dist[...] = dist_t.T` thrashes on large shards).
+    for lo in range(0, n, 64):
+        dist[:, lo : lo + 64] = dist_t[lo : lo + 64].T

@@ -18,7 +18,21 @@ import numpy as np
 from .config import resolve_backend
 from .reference import filter_rows_reference
 
-__all__ = ["filter_rows"]
+__all__ = ["filter_rows", "masked_row_argmin"]
+
+
+def masked_row_argmin(values, mask):
+    """Per-row minimum over the ``True`` entries of ``mask``: returns
+    ``(rows, cols, vals)`` covering exactly the rows with at least one
+    masked entry.  The first minimum wins, i.e. ties resolve to the
+    smallest column id — the library-wide tie-break every batched
+    construction (closest next-level member, pivot, S_2 representative)
+    must share with its per-vertex reference loop."""
+    rows = np.flatnonzero(mask.any(axis=1))
+    masked = np.where(mask[rows], values[rows], np.inf)
+    cols = masked.argmin(axis=1)
+    vals = masked[np.arange(rows.size), cols]
+    return rows, cols, vals
 
 
 def filter_rows(

@@ -37,10 +37,12 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.costs import bounded_hopset_rounds, source_detection_rounds
 from ..cliquesim.ledger import RoundLedger
 from ..graph.distances import hop_limited_bellman_ford
 from ..graph.graph import Graph, WeightedGraph
+from ..kernels.config import resolve_backend
 from .hitting import deterministic_hitting_set, random_hitting_set
 from .nearest import kd_nearest_bfs
 
@@ -113,11 +115,84 @@ def build_bounded_hopset(
             rng = np.random.default_rng(0)
         a1 = random_hitting_set(n, max(k, 1), rng, ledger=local)
         a1 = _patch_hitting_set(a1, row_sets)
+    a1 = np.asarray(a1, dtype=np.int64)
     a1_mask = np.zeros(n, dtype=bool)
     a1_mask[a1] = True
 
     # Step 3: bounded bunches for v not in A_1.
     hopset = WeightedGraph(n)
+    if resolve_backend() == "reference":
+        _bunch_edges_reference(hopset, nearest, a1_mask)
+    else:
+        _bunch_edges_batched(hopset, nearest, a1_mask)
+
+    # Step 4: iterative A_1 x A_1 levels.
+    beta = hopset_beta(t, eps, c_beta)
+    levels = max(1, math.ceil(math.log2(max(t, 2))))
+    a1_list = [int(x) for x in a1]
+    for _ in range(levels):
+        union = g.to_weighted()
+        union.union_update(hopset)
+        dist = hop_limited_bellman_ford(union, a1_list, max_hops=4 * beta)
+        local.charge(
+            source_detection_rounds(n, union.m, len(a1_list), 4 * beta),
+            "hopset:level-source-detection",
+        )
+        sub = dist[:, a1]
+        finite_i, finite_j = np.nonzero(np.isfinite(sub))
+        keep = a1[finite_i] != a1[finite_j]
+        hopset.add_edges_arrays(
+            a1[finite_i[keep]], a1[finite_j[keep]], sub[finite_i[keep], finite_j[keep]]
+        )
+
+    rounds = bounded_hopset_rounds(n, t, eps, deterministic=deterministic)
+    if ledger is not None:
+        ledger.charge(rounds, "hopset:total(theorem-12)")
+    return BoundedHopset(
+        hopset=hopset,
+        beta=beta,
+        eps=eps,
+        t=t,
+        hitting_set=np.asarray(a1, dtype=np.int64),
+        num_edges=hopset.m,
+        rounds=rounds,
+    )
+
+
+def _bunch_edges_batched(
+    hopset: WeightedGraph, nearest: np.ndarray, a1_mask: np.ndarray
+) -> None:
+    """The Claim 61 bunch edges for every non-``A_1`` vertex at once.
+
+    One pass of mask algebra over the ``(k, t)``-nearest matrix replaces
+    the per-vertex sort-and-scan: the pivot ``p(v)`` is the row ``argmin``
+    over the ``A_1`` columns (first minimum = smallest id, the same
+    tie-break as the sorted scan), the bunch is every strictly closer
+    member, and rows without an ``A_1`` member keep their whole ball.
+    """
+    srcs = np.flatnonzero(~a1_mask)
+    if srcs.size == 0:
+        return
+    block = nearest[srcs]
+    finite = np.isfinite(block)
+    in_a1 = finite & a1_mask
+    piv_rows, pivots, piv_weights = kernels.masked_row_argmin(block, in_a1)
+    pivot_dist = np.full(srcs.size, np.inf)
+    pivot_dist[piv_rows] = piv_weights
+
+    # Bunch members: strictly closer than the pivot (whole ball when no
+    # pivot, since pivot_dist stays inf); block > 0 excludes v itself.
+    bunch = finite & (block < pivot_dist[:, None]) & (block > 0)
+    b_rows, b_cols = np.nonzero(bunch)
+    hopset.add_edges_arrays(srcs[b_rows], b_cols, block[b_rows, b_cols])
+    hopset.add_edges_arrays(srcs[piv_rows], pivots, piv_weights)
+
+
+def _bunch_edges_reference(
+    hopset: WeightedGraph, nearest: np.ndarray, a1_mask: np.ndarray
+) -> None:
+    """The original per-vertex bunch loop (sorted scan per row)."""
+    n = nearest.shape[0]
     for v in range(n):
         if a1_mask[v]:
             continue
@@ -141,37 +216,6 @@ def build_bounded_hopset(
             for u in members:
                 if u != v:
                     hopset.add_edge(v, int(u), float(row[u]))
-
-    # Step 4: iterative A_1 x A_1 levels.
-    beta = hopset_beta(t, eps, c_beta)
-    levels = max(1, math.ceil(math.log2(max(t, 2))))
-    a1_list = [int(x) for x in a1]
-    for _ in range(levels):
-        union = g.to_weighted()
-        union.union_update(hopset)
-        dist = hop_limited_bellman_ford(union, a1_list, max_hops=4 * beta)
-        local.charge(
-            source_detection_rounds(n, union.m, len(a1_list), 4 * beta),
-            "hopset:level-source-detection",
-        )
-        sub = dist[:, a1]
-        finite_i, finite_j = np.nonzero(np.isfinite(sub))
-        for i, j in zip(finite_i, finite_j):
-            if a1_list[i] != a1_list[j]:
-                hopset.add_edge(a1_list[i], a1_list[j], float(sub[i, j]))
-
-    rounds = bounded_hopset_rounds(n, t, eps, deterministic=deterministic)
-    if ledger is not None:
-        ledger.charge(rounds, "hopset:total(theorem-12)")
-    return BoundedHopset(
-        hopset=hopset,
-        beta=beta,
-        eps=eps,
-        t=t,
-        hitting_set=np.asarray(a1, dtype=np.int64),
-        num_edges=hopset.m,
-        rounds=rounds,
-    )
 
 
 def _patch_hitting_set(a1: np.ndarray, row_sets) -> np.ndarray:
