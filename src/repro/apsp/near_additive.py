@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.costs import learn_subgraph_rounds
 from ..cliquesim.ledger import RoundLedger
 from ..derand import build_emulator_deterministic
@@ -88,13 +89,10 @@ def apsp_near_additive(
     )
 
     estimates = weighted_all_pairs(result.emulator)
-    # Each vertex knows its own incident edges; fold them in (weight 1).
+    # Each vertex knows its own incident edges; fold them in (weight 1)
+    # and fix the diagonal — the per-source post-processing kernel.
     e = g.edges()
-    if len(e):
-        ones = np.ones(len(e))
-        np.minimum.at(estimates, (e[:, 0], e[:, 1]), ones)
-        np.minimum.at(estimates, (e[:, 1], e[:, 0]), ones)
-    np.fill_diagonal(estimates, 0.0)
+    kernels.fold_in_edges(estimates, e[:, 0], e[:, 1])
 
     mult, add = emulator_guarantee(result, variant)
     return DistanceResult(

@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.costs import learn_subgraph_rounds
 from ..cliquesim.ledger import RoundLedger
 from ..emulator.params import EmulatorParams
@@ -89,11 +90,7 @@ def apsp_three_plus_eps(
 
     # Own edges and diagonal.
     e = g.edges()
-    if len(e):
-        ones = np.ones(len(e))
-        np.minimum.at(delta, (e[:, 0], e[:, 1]), ones)
-        np.minimum.at(delta, (e[:, 1], e[:, 0]), ones)
-    np.fill_diagonal(delta, 0.0)
+    kernels.fold_in_edges(delta, e[:, 0], e[:, 1])
 
     return DistanceResult(
         name=f"(3+eps)-APSP[{variant}]",

@@ -34,6 +34,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..cliquesim.costs import learn_subgraph_rounds
 from ..cliquesim.ledger import RoundLedger
 from ..emulator.params import EmulatorParams
@@ -92,13 +93,9 @@ def apsp_two_plus_eps(
     mult_a, additive_b = emulator_guarantee(emu, variant)
     t = max(1, math.ceil(additive_b / (eps - (mult_a - 1.0))))
 
-    # Own edges (Line 1 of the high-degree stage).
+    # Own edges (Line 1 of the high-degree stage) and the diagonal.
     e = g.edges()
-    if len(e):
-        ones = np.ones(len(e))
-        np.minimum.at(delta, (e[:, 0], e[:, 1]), ones)
-        np.minimum.at(delta, (e[:, 1], e[:, 0]), ones)
-    np.fill_diagonal(delta, 0.0)
+    kernels.fold_in_edges(delta, e[:, 0], e[:, 1])
 
     # ------------------------------------------------------------------
     # High-degree stage: hitting set S over N(v), deg(v) >= sqrt(n) log n.

@@ -4,17 +4,21 @@ Examples::
 
     python -m repro emulator --family er_sparse --n 150 --eps 0.5 --r 2
     python -m repro apsp --algo 2eps --family grid --n 120
+    python -m repro apsp --algo near-additive --n 400 --backend parallel
     python -m repro mssp --family path --n 200 --num-sources 14
     python -m repro families
 
 Each command prints the measured quality against the exact distances and
-the round-ledger summary.
+the round-ledger summary.  ``--backend`` pins the kernel backend for the
+whole run (same choices as the ``REPRO_KERNEL_BACKEND`` environment
+variable; see DESIGN.md §2 "Choosing a backend").
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import List, Optional
 
@@ -32,6 +36,7 @@ from .apsp import (
     mssp_weighted,
     spanner_apsp,
 )
+from . import kernels
 from .emulator import build_emulator_cc
 from .derand import build_emulator_deterministic
 from .graph import WeightedGraph, generators
@@ -68,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="random integer edge weights in [1, W] via subdivision "
                  "(1 = unweighted; apsp/mssp only)",
         )
+        p.add_argument(
+            "--backend", default=None, choices=kernels.BACKENDS,
+            help="kernel backend for the whole run (default: the "
+                 "REPRO_KERNEL_BACKEND env var, else 'auto')",
+        )
 
     p_emu = sub.add_parser("emulator", help="build an emulator, report size/stretch")
     common(p_emu)
@@ -96,6 +106,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "families":
         print("\n".join(generators.FAMILIES))
         return 0
+
+    if getattr(args, "backend", None):
+        # The explicit flag outranks an inherited REPRO_KERNEL_BACKEND,
+        # so overwrite that layer too (it sits above the process default).
+        os.environ[kernels.ENV_BACKEND_VAR] = args.backend
+        kernels.set_default_backend(args.backend)
+        if args.backend == "parallel":
+            print(f"kernel backend: parallel ({kernels.parallel_mode()})")
 
     g = generators.make_family(args.family, args.n, seed=args.seed)
     rng = np.random.default_rng(args.seed)

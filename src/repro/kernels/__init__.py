@@ -14,14 +14,19 @@ dispatcher (see DESIGN.md for the layer's contract and fidelity policy):
   (``(S, d)``-source detection).
 
 Backends are selected per call (``backend=``), per process
-(:func:`set_default_backend`), or forced for a whole pipeline
-(:func:`force_backend` — how tests prove the vectorized kernels are
-bit-identical to the original implementations).
+(:func:`set_default_backend` or the ``REPRO_KERNEL_BACKEND`` environment
+variable), or forced for a whole pipeline (:func:`force_backend` — how
+tests prove the vectorized kernels are bit-identical to the original
+implementations).  The ``parallel`` backend
+(:mod:`repro.kernels.parallel`) JIT-compiles the hot kernels with numba
+when importable and falls back to a forked multiprocessing shard pool
+otherwise; ``"auto"`` promotes large operands to it when profitable.
 """
 
 from .bfs import batched_bfs, multi_source_bfs, sharded_bfs
 from .config import (
     BACKENDS,
+    ENV_BACKEND_VAR,
     force_backend,
     get_default_backend,
     resolve_backend,
@@ -35,18 +40,31 @@ from .csr import (
     slab_gather_owners,
 )
 from .minplus import auto_block, finite_fraction, minplus, minplus_csr, minplus_dense
+from .parallel import (
+    ENV_WORKERS_VAR,
+    ParallelFallback,
+    numba_available,
+    parallel_mode,
+    parallel_profitable,
+    worker_count,
+)
+from .postprocess import fold_in_edges
 from .relax import hop_limited_relax
 from .topk import filter_rows, masked_row_argmin
 
 __all__ = [
     "BACKENDS",
     "CsrParts",
+    "ENV_BACKEND_VAR",
+    "ENV_WORKERS_VAR",
+    "ParallelFallback",
     "auto_block",
     "batched_bfs",
     "dense_to_csr",
     "edges_to_csr",
     "filter_rows",
     "finite_fraction",
+    "fold_in_edges",
     "force_backend",
     "get_default_backend",
     "hop_limited_relax",
@@ -55,9 +73,13 @@ __all__ = [
     "minplus_csr",
     "minplus_dense",
     "multi_source_bfs",
+    "numba_available",
+    "parallel_mode",
+    "parallel_profitable",
     "resolve_backend",
     "set_default_backend",
     "sharded_bfs",
     "slab_gather",
     "slab_gather_owners",
+    "worker_count",
 ]

@@ -16,6 +16,14 @@ between a flat ``(vertex, wave)`` key space (cost ∝ frontier size) and a
 bit-packed frontier advanced by a segmented ``bitwise_or.reduceat`` over
 the CSR (cost ``nnz · waves / 64`` words — the winner when many deep
 waves flood the graph together).  Both produce identical level maps.
+
+``backend="parallel"`` (or ``"auto"`` on large operands when the
+parallel backend is profitable) expands waves through
+:mod:`repro.kernels.parallel` instead — one independent BFS per wave
+under a numba ``prange`` or a forked worker pool; levels are
+scheme-independent, so the output is identical.  ``multi_source_bfs``
+runs a single wave and has nothing to parallelize; it treats
+``"parallel"`` as the default vectorized path.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import parallel as par
 from .config import resolve_backend
 from .csr import slab_gather, slab_gather_owners
 from .reference import batched_bfs_reference, multi_source_bfs_reference
@@ -34,9 +43,9 @@ __all__ = ["multi_source_bfs", "batched_bfs", "sharded_bfs"]
 # transient boolean masks at the default).
 _BATCH_KEY_BUDGET = 1 << 27
 
-# Float budget for the live distance blocks of one shard (~64 MB at the
-# default, split between the yielded block and the wave kernel's
-# vertex-major working copy).
+# Float budget for the live distance block of one shard (~64 MB at the
+# default — the yielded block *is* the wave kernel's vertex-major
+# working array, viewed transposed).
 _SHARD_FLOAT_BUDGET = 1 << 23
 
 
@@ -91,17 +100,26 @@ def batched_bfs(
     """
     max_dist = np.floor(max_dist)
     sources = np.asarray(list(sources), dtype=np.int64)
-    if resolve_backend(backend) == "reference":
+    resolved = resolve_backend(backend)
+    if resolved == "reference":
         return batched_bfs_reference(indptr, indices, n, sources, max_dist)
+    resolved = par.maybe_promote(resolved, sources.size * n)
+    radii = np.full(sources.size, max_dist)
+    if resolved == "parallel":
+        return par.bfs_waves_parallel(indptr, indices, n, sources, radii)
     dist = np.full((sources.size, n), np.inf)
     if sources.size == 0 or n == 0:
         return dist
     if batch_size is None:
         batch_size = max(1, _BATCH_KEY_BUDGET // n)
-    radii = np.full(sources.size, max_dist)
     for lo in range(0, sources.size, batch_size):
         hi = min(sources.size, lo + batch_size)
-        _batched_wave(indptr, indices, n, sources[lo:hi], radii[lo:hi], dist[lo:hi])
+        block = np.full((n, hi - lo), np.inf)
+        _batched_wave(indptr, indices, n, sources[lo:hi], radii[lo:hi], block)
+        # Cache-blocked transpose into the row-major output (a straight
+        # `dist[lo:hi] = block.T` thrashes on large batches).
+        for v0 in range(0, n, 64):
+            dist[lo:hi, v0 : v0 + 64] = block[v0 : v0 + 64].T
     return dist
 
 
@@ -120,42 +138,50 @@ def sharded_bfs(
     ``(hi - lo, n)`` truncated-BFS distance matrix of ``sources[lo:hi]`` —
     row ``i`` is the wave of ``sources[lo + i]``.  Unlike
     :func:`batched_bfs` the full ``(len(sources), n)`` matrix is never
-    materialized: peak memory is ``O(shard_size · n)`` (two float blocks —
-    the yielded one plus the wave kernel's vertex-major working copy —
-    which the default ``shard_size`` already accounts for), which is what
-    opens ``n >= 10^4`` emulator builds.
+    materialized: peak memory is one ``O(shard_size · n)`` float block,
+    which is what opens ``n >= 10^4`` emulator builds.
+
+    The default path yields the wave kernel's vertex-major working array
+    *transposed in place* — a Fortran-ordered ``(hi - lo, n)`` view, so
+    per-vertex columns ``block[:, v]`` are contiguous (what
+    ``edges_for_level``'s mask algebra reads) and the old end-of-wave
+    blocked transpose is gone entirely.  Consumers must treat blocks as
+    order-agnostic numpy arrays (all do) and must finish with a block
+    before requesting the next one; blocks may be reused internally.
 
     ``max_dist`` may be a scalar or a per-source array — each wave is
     spilled from the shared frontier as soon as its own radius is
     exhausted, so mixed-radius shards (vertices of different hierarchy
     levels) cost only as much as their deepest wave.  Fractional radii are
     floored (BFS levels are integral).
-
-    Consumers must finish with a block before requesting the next one;
-    blocks may be reused internally.
     """
     sources = np.asarray(list(sources), dtype=np.int64)
     radii = np.floor(np.broadcast_to(np.asarray(max_dist, dtype=np.float64),
                                      sources.shape)).copy()
     if shard_size is None:
-        # Two live (shard, n) float blocks per shard: the yielded block
-        # and _batched_wave's transposed working copy.
-        shard_size = max(1, _SHARD_FLOAT_BUDGET // (2 * max(n, 1)))
-    reference = resolve_backend(backend) == "reference"
+        # One live (n, shard) float block per shard (the yielded view is
+        # the working array itself, so the whole budget buys shard rows).
+        shard_size = max(1, _SHARD_FLOAT_BUDGET // max(n, 1))
+    resolved = par.maybe_promote(resolve_backend(backend), sources.size * n)
     for lo in range(0, sources.size, shard_size):
         hi = min(sources.size, lo + shard_size)
-        if reference:
+        if resolved == "reference":
             block = np.full((hi - lo, n), np.inf)
             for i in range(lo, hi):
                 block[i - lo] = multi_source_bfs_reference(
                     indptr, indices, n, [int(sources[i])], radii[i]
                 )
+        elif resolved == "parallel":
+            block = par.bfs_waves_parallel(
+                indptr, indices, n, sources[lo:hi], radii[lo:hi]
+            )
         else:
-            block = np.full((hi - lo, n), np.inf)
+            work = np.full((n, hi - lo), np.inf)
             if n:
                 _batched_wave(
-                    indptr, indices, n, sources[lo:hi], radii[lo:hi], block
+                    indptr, indices, n, sources[lo:hi], radii[lo:hi], work
                 )
+            block = work.T  # Fortran-ordered (hi - lo, n) view, no copy
         yield lo, hi, block
 
 
@@ -170,10 +196,14 @@ _BITS_MIN_WAVES = 64
 _KEY_PAIR_COST = 40
 
 
-def _batched_wave(indptr, indices, n, src, radii, dist) -> None:
-    """Run ``src.size`` simultaneous BFS waves, writing into ``dist``.
-    ``radii[i]`` truncates wave ``i``; its row stops expanding (is spilled
-    from the frontier) once the level exceeds it.
+def _batched_wave(indptr, indices, n, src, radii, dist_t) -> None:
+    """Run ``src.size`` simultaneous BFS waves, writing into the
+    *vertex-major* ``(n, src.size)`` array ``dist_t`` (prefilled ``inf``;
+    ``dist_t.T`` is the usual ``(waves, n)`` matrix — callers that need a
+    row-major copy transpose it themselves, while :func:`sharded_bfs`
+    yields the transposed view directly).  ``radii[i]`` truncates wave
+    ``i``; its column stops expanding (is spilled from the frontier) once
+    the level exceeds it.
 
     Each level is expanded by one of two interchangeable schemes (the
     output is identical — level-synchronous BFS):
@@ -195,10 +225,8 @@ def _batched_wave(indptr, indices, n, src, radii, dist) -> None:
     bit-packed scheme runs.
     """
     waves = src.size
-    # Vertex-major working copy: bit rows, frontier keys and the level
-    # writes all touch contiguous memory this way round; one transpose at
-    # the end restores the (waves, n) output layout.
-    dist_t = np.full((n, waves), np.inf)
+    # Vertex-major layout: bit rows, frontier keys and the level writes
+    # all touch contiguous memory this way round.
     flat = dist_t.ravel()
     fr_wave = np.arange(waves, dtype=np.int64)
     fr_vert = src.copy()
@@ -302,7 +330,3 @@ def _batched_wave(indptr, indices, n, src, radii, dist) -> None:
                     (fr_vert, fr_wave >> 3),
                     np.uint8(1) << (fr_wave & 7).astype(np.uint8),
                 )
-    # Cache-blocked transpose back to the (waves, n) output layout (a
-    # straight `dist[...] = dist_t.T` thrashes on large shards).
-    for lo in range(0, n, 64):
-        dist[:, lo : lo + 64] = dist_t[lo : lo + 64].T

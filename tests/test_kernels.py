@@ -50,6 +50,9 @@ class TestMinplusBackends:
             assert exact_equal(kernels.minplus_csr(s, t), expected)
             assert exact_equal(kernels.minplus_dense(s, t), expected)
             assert exact_equal(kernels.minplus(s, t), expected)
+            assert exact_equal(
+                kernels.minplus(s, t, backend="parallel"), expected
+            )
 
     def test_csr_chunking_invariant(self, rng):
         s = random_minplus_matrix(rng, 25, 25, 0.3)
@@ -210,11 +213,15 @@ class TestBfsKernels:
     def test_batched_matches_reference(self, max_dist):
         for g in graph_cases():
             sources = np.arange(g.n)
-            got = kernels.batched_bfs(g.indptr, g.indices, g.n, sources, max_dist)
             want = ref.batched_bfs_reference(
                 g.indptr, g.indices, g.n, sources, max_dist
             )
+            got = kernels.batched_bfs(g.indptr, g.indices, g.n, sources, max_dist)
             assert exact_equal(got, want)
+            got_par = kernels.batched_bfs(
+                g.indptr, g.indices, g.n, sources, max_dist, backend="parallel"
+            )
+            assert exact_equal(got_par, want)
 
     def test_batched_batch_size_invariant(self):
         g = gen.make_family("er_sparse", 50, seed=5)
@@ -294,13 +301,18 @@ class TestBackendConfig:
             assert kernels.resolve_backend("csr") == "dense"
         assert kernels.resolve_backend("csr") == "csr"
 
-    def test_force_backend_restores_on_error(self):
+    def test_force_backend_restores_on_error(self, monkeypatch):
+        # Neutralize the env-var layer: this test is about the forced and
+        # default layers only (the CI matrix leg exports
+        # REPRO_KERNEL_BACKEND=parallel process-wide).
+        monkeypatch.delenv(kernels.ENV_BACKEND_VAR, raising=False)
         with pytest.raises(RuntimeError):
             with kernels.force_backend("reference"):
                 raise RuntimeError("boom")
         assert kernels.resolve_backend() == kernels.get_default_backend()
 
-    def test_set_default_backend_roundtrip(self):
+    def test_set_default_backend_roundtrip(self, monkeypatch):
+        monkeypatch.delenv(kernels.ENV_BACKEND_VAR, raising=False)
         assert kernels.get_default_backend() == "auto"
         kernels.set_default_backend("csr")
         try:
@@ -332,5 +344,15 @@ class TestPipelineRegression:
             slow = apsp_two_plus_eps(
                 g, 0.5, rng=np.random.default_rng(42), deterministic=deterministic
             )
+        assert exact_equal(fast.estimates, slow.estimates)
+        assert fast.ledger.total == slow.ledger.total
+
+    @pytest.mark.parametrize("family", ["er_sparse", "ring_of_cliques"])
+    def test_apsp_two_plus_eps_parallel_backend(self, family):
+        g = gen.make_family(family, 90, seed=9)
+        with kernels.force_backend("parallel"):
+            fast = apsp_two_plus_eps(g, 0.5, rng=np.random.default_rng(42))
+        with kernels.force_backend("reference"):
+            slow = apsp_two_plus_eps(g, 0.5, rng=np.random.default_rng(42))
         assert exact_equal(fast.estimates, slow.estimates)
         assert fast.ledger.total == slow.ledger.total
