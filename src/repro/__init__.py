@@ -15,7 +15,10 @@ The public API re-exports the main entry points:
 * baselines: :func:`exact_apsp`, :func:`apsp_squaring`, :func:`spanner_apsp`;
 * hot-path substrate: :mod:`repro.kernels` — the vectorized CSR compute
   layer every min-plus product, BFS, and top-``k`` filter runs on
-  (see DESIGN.md).
+  (see DESIGN.md);
+* serving layer: :mod:`repro.oracle` — preprocess-once / query-forever
+  distance oracles (on-disk artifacts, batched query engine, HTTP front
+  end; DESIGN.md §6).
 """
 
 from . import kernels
@@ -55,8 +58,9 @@ from .apsp import (
     spanner_apsp,
     sssp,
 )
-from .emulator import build_tz_emulator, emulator_to_spanner
+from .emulator import build_tz_bunches, build_tz_emulator, emulator_to_spanner
 from .analysis import StretchReport, evaluate_stretch
+from . import oracle
 
 __version__ = "1.0.0"
 
@@ -94,8 +98,10 @@ __all__ = [
     "spanner_apsp",
     "sssp",
     "EmulatorPathOracle",
+    "build_tz_bunches",
     "build_tz_emulator",
     "emulator_to_spanner",
+    "oracle",
     "StretchReport",
     "evaluate_stretch",
 ]

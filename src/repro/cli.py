@@ -8,10 +8,15 @@ Examples::
     python -m repro mssp --family path --n 200 --num-sources 14
     python -m repro families
 
-Each command prints the measured quality against the exact distances and
-the round-ledger summary.  ``--backend`` pins the kernel backend for the
-whole run (same choices as the ``REPRO_KERNEL_BACKEND`` environment
-variable; see DESIGN.md §2 "Choosing a backend").
+    # serving layer: preprocess once, query forever (DESIGN.md §6)
+    python -m repro build-oracle --family grid --n 400 --out /tmp/oracle
+    python -m repro query --artifact /tmp/oracle --u 0 --v 399 --cert
+    python -m repro serve --artifact /tmp/oracle --port 8080
+
+The one-shot commands print the measured quality against the exact
+distances and the round-ledger summary.  ``--backend`` pins the kernel
+backend for the whole run (same choices as the ``REPRO_KERNEL_BACKEND``
+environment variable; see DESIGN.md §2 "Choosing a backend").
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ from .apsp import (
     mssp_weighted,
     spanner_apsp,
 )
-from . import kernels
+from . import kernels, oracle
 from .emulator import build_emulator_cc
 from .derand import build_emulator_deterministic
 from .graph import WeightedGraph, generators
@@ -97,6 +102,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("families", help="list workload families")
+
+    def backend_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", default=None, choices=kernels.BACKENDS,
+            help="kernel backend for the whole run",
+        )
+
+    p_build = sub.add_parser(
+        "build-oracle",
+        help="preprocess a workload into an on-disk oracle artifact",
+    )
+    common(p_build)
+    p_build.add_argument(
+        "--variant", default="near-additive", choices=sorted(oracle.VARIANTS),
+        help="preprocessing to snapshot (matrix variants store the full "
+             "estimate matrix; 'tz' stores Thorup-Zwick bunches)",
+    )
+    p_build.add_argument(
+        "--out", required=True, help="artifact directory to write"
+    )
+    p_build.add_argument(
+        "--no-graph", action="store_true",
+        help="do not embed the source graph (disables path queries)",
+    )
+
+    p_query = sub.add_parser(
+        "query", help="answer distance queries from a saved artifact"
+    )
+    p_query.add_argument("--artifact", required=True)
+    p_query.add_argument("--u", type=int, default=None)
+    p_query.add_argument("--v", type=int, default=None)
+    p_query.add_argument(
+        "--pairs", default=None,
+        help="batched queries as 'u:v,u:v,...' (one vectorized pass)",
+    )
+    p_query.add_argument(
+        "--cert", action="store_true",
+        help="print the per-query stretch certificate",
+    )
+    p_query.add_argument(
+        "--path", action="store_true", dest="want_path",
+        help="also reconstruct a concrete G-path",
+    )
+    backend_flag(p_query)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve an artifact over HTTP (JSON; stdlib only)"
+    )
+    p_serve.add_argument("--artifact", required=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    backend_flag(p_serve)
     return parser
 
 
@@ -115,9 +172,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.backend == "parallel":
             print(f"kernel backend: parallel ({kernels.parallel_mode()})")
 
+    if args.command in ("query", "serve"):
+        try:
+            return _main_serving(args)
+        except oracle.ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     g = generators.make_family(args.family, args.n, seed=args.seed)
     rng = np.random.default_rng(args.seed)
     print(f"graph: {args.family}, n={g.n}, m={g.m}")
+
+    if args.command == "build-oracle":
+        try:
+            return _main_build_oracle(args, g, rng)
+        except oracle.ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "emulator":
         if args.deterministic:
@@ -162,6 +233,97 @@ def main(argv: Optional[List[str]] = None) -> int:
     ))
     print(res.ledger.summary())
     return 0 if rep.sound else 1
+
+
+def _main_build_oracle(args, g, rng) -> int:
+    """``repro build-oracle``: preprocess and snapshot one workload."""
+    if getattr(args, "max_weight", 1) > 1:
+        g = _random_weights(g, args.max_weight, rng)
+        print(f"weights: random integers in [1, {args.max_weight}]")
+    artifact = oracle.build_oracle(
+        g,
+        variant=args.variant,
+        eps=args.eps,
+        r=args.r,
+        rng=rng,
+        include_graph=not args.no_graph,
+    )
+    oracle.save_artifact(artifact, args.out)
+    m = artifact.manifest
+    rounds = m.get("rounds_total")
+    print(
+        f"oracle: variant={m['variant']} kind={m['kind']} n={m['n']} "
+        f"payload={artifact.nbytes() / 1e6:.2f} MB"
+    )
+    print(f"guarantee: {m['guarantee']}")
+    if rounds is not None:
+        print(f"preprocessing rounds charged: {rounds:.2f}")
+    print(f"artifact written to {args.out}")
+    return 0
+
+
+def _parse_pairs(spec: str):
+    pairs = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            u, v = token.split(":")
+            pairs.append((int(u), int(v)))
+        except ValueError:
+            raise oracle.ArtifactError(
+                f"malformed --pairs entry {token!r}; expected 'u:v'"
+            )
+    if not pairs:
+        raise oracle.ArtifactError("--pairs parsed to an empty query list")
+    return pairs
+
+
+def _main_serving(args) -> int:
+    """``repro query`` / ``repro serve``: answer from a saved artifact."""
+    if args.command == "serve":
+        oracle.serve(args.artifact, host=args.host, port=args.port)
+        return 0
+
+    engine = oracle.DistanceOracle.load(args.artifact)
+    m = engine.artifact.manifest
+    print(
+        f"artifact: variant={m['variant']} kind={m['kind']} n={m['n']} "
+        f"graph={str(m['graph_hash'])[:12]}…"
+    )
+    if args.pairs is not None:
+        pairs = _parse_pairs(args.pairs)
+        us = np.asarray([p[0] for p in pairs], dtype=np.int64)
+        vs = np.asarray([p[1] for p in pairs], dtype=np.int64)
+        values = engine.query_batch(us, vs)
+        rows = [
+            [int(u), int(v), "inf" if not np.isfinite(d) else round(float(d), 3)]
+            for u, v, d in zip(us, vs, values)
+        ]
+        print(format_table(["u", "v", "estimate"], rows))
+        return 0
+    if args.u is None or args.v is None:
+        print("error: query needs --u and --v (or --pairs)", file=sys.stderr)
+        return 2
+    estimate = engine.query(args.u, args.v)
+    shown = "inf (unreachable)" if not np.isfinite(estimate) else f"{estimate:g}"
+    print(f"d({args.u}, {args.v}) <= {shown}")
+    if args.cert:
+        cert = engine.certificate(args.u, args.v)
+        lo = "inf" if not np.isfinite(cert.lower_bound) else f"{cert.lower_bound:g}"
+        print(
+            f"certificate: {lo} <= d <= {shown}  "
+            f"(mult={cert.multiplicative:g}, add={cert.additive:g}, "
+            f"witness={cert.witness})"
+        )
+    if args.want_path:
+        path = engine.path(args.u, args.v)
+        if path is None:
+            print("path: unreachable")
+        else:
+            print(f"path ({len(path) - 1} hops): {' -> '.join(map(str, path))}")
+    return 0
 
 
 def _random_weights(g, max_weight: int, rng: np.random.Generator) -> WeightedGraph:

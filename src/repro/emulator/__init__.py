@@ -11,13 +11,20 @@ from .builder import (
 from .warmup import WarmupEmulator, build_warmup_emulator
 from .clique import build_emulator_cc, cc_stretch_bound
 from .whp import DrawEvaluation, build_emulator_whp, evaluate_draw
-from .thorup_zwick import TZEmulator, build_tz_emulator
+from .thorup_zwick import (
+    TZBunches,
+    TZEmulator,
+    build_tz_bunches,
+    build_tz_emulator,
+)
 from .spanner import SpannerResult, emulator_to_spanner
 
 __all__ = [
     "SpannerResult",
     "emulator_to_spanner",
+    "TZBunches",
     "TZEmulator",
+    "build_tz_bunches",
     "build_tz_emulator",
     "EmulatorParams",
     "sampling_probabilities",

@@ -1,4 +1,4 @@
-"""The Thorup–Zwick emulator (Appendix A's comparison construction).
+"""The Thorup–Zwick emulator and bunch structures (Appendix A).
 
 TZ [32]: given the sampled hierarchy ``S_0 ⊃ S_1 ⊃ … (S_{r+1} = ∅)``,
 every vertex ``v`` at level ``i`` adds
@@ -18,22 +18,46 @@ eps, every edge of the Section 3.2 emulator is also a TZ edge** (under
 the same hierarchy).  This is the sense in which the paper's emulator is
 a "localized TZ", and it explains TZ's universality (one emulator, all
 eps).
+
+Both constructions here accept an unweighted :class:`Graph` (global
+sharded BFS) or a :class:`WeightedGraph`, whose global distances run on
+the :func:`repro.kernels.hop_limited_relax` Bellman–Ford kernel in
+source shards — with full backend dispatch, so large weighted pipelines
+promote to the parallel backend exactly like the unweighted ones.
+``force_backend("reference")`` selects the original per-vertex loop
+(BFS per vertex, or Dijkstra per vertex for weighted graphs); all paths
+are bit-identical.
+
+Beyond the emulator, :func:`build_tz_bunches` constructs the *classic*
+TZ distance-oracle preprocessing — per-vertex pivots ``p_i(v)`` at every
+level and the full multi-level bunches ``B(v) = ∪_i {w ∈ S_i \\ S_{i+1} :
+d(v, w) < d(v, S_{i+1})}`` — the persistent structure the serving layer
+(:mod:`repro.oracle`) snapshots and answers queries from with a 2-hop
+bunch/cluster min-plus combine (stretch ``2k - 1`` for ``k = r + 1``
+levels).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from .. import kernels
-from ..graph.distances import bfs_distances
+from ..graph.distances import bfs_distances, dijkstra
 from ..graph.graph import Graph, WeightedGraph
 from ..kernels.config import resolve_backend
 from .sampling import Hierarchy, sample_hierarchy
 
-__all__ = ["TZEmulator", "build_tz_emulator"]
+__all__ = [
+    "TZEmulator",
+    "TZBunches",
+    "build_tz_emulator",
+    "build_tz_bunches",
+]
+
+AnyGraph = Union[Graph, WeightedGraph]
 
 
 @dataclass
@@ -49,19 +73,115 @@ class TZEmulator:
         return self.emulator.m
 
 
+@dataclass
+class TZBunches:
+    """Classic TZ distance-oracle preprocessing (pivots + full bunches).
+
+    ``srcs[i] -> dsts[i]`` (at exact distance ``dists[i]``) is the
+    *directed* membership relation: one arc per bunch member
+    ``w ∈ B(v)`` and per pivot ``p_i(v)``, ``i = 1..r``, deduplicated
+    and sorted by ``(src, dst)``.  The oracle query intersects the
+    out-stars of the two endpoints — the classic ``B(u) ∩ B(v)``
+    combine, whose per-vertex work stays ``O(k n^{1/k})`` (clusters
+    ``C(w)`` can be ``Θ(n)``-sized and are deliberately not consulted).
+    ``star`` is the same relation as an undirected
+    :class:`WeightedGraph` (what spanner/path expansion consumes).
+    """
+
+    star: WeightedGraph
+    hierarchy: Hierarchy
+    srcs: np.ndarray
+    dsts: np.ndarray
+    dists: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Number of oracle levels (``r + 1``)."""
+        return self.hierarchy.r + 1
+
+    @property
+    def stretch(self) -> int:
+        """The proven multiplicative stretch ``2k - 1`` of the 2-hop
+        bunch query."""
+        return 2 * self.k - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of stored bunch/pivot edges."""
+        return self.star.m
+
+
+# ----------------------------------------------------------------------
+# Global distances: sharded BFS (unweighted) / sharded relax (weighted)
+# ----------------------------------------------------------------------
+
+def _global_distances_reference(g: AnyGraph, v: int) -> np.ndarray:
+    """One vertex's global distances on the reference substrate."""
+    if isinstance(g, WeightedGraph):
+        return dijkstra(g, v)
+    return bfs_distances(g, v)
+
+
+def _global_distance_shards(
+    g: AnyGraph, sources: np.ndarray, shard_size: Optional[int] = None
+) -> Iterator[Tuple[int, int, np.ndarray]]:
+    """Yield ``(lo, hi, block)`` global-distance shards for ``sources``.
+
+    Unweighted graphs run :func:`repro.kernels.sharded_bfs`; weighted
+    graphs seed a ``(shard, n)`` matrix and run it to the Bellman–Ford
+    fixpoint through :func:`repro.kernels.hop_limited_relax` (which
+    dispatches backends, so large shards promote to the parallel kernel).
+    The relax fixpoint and Dijkstra both realize the minimum over all
+    source-to-target paths of the left-to-right float sum, so the two
+    substrates are bit-identical on non-negative weights.
+    """
+    if not isinstance(g, WeightedGraph):
+        yield from kernels.sharded_bfs(g.indptr, g.indices, g.n, sources)
+        return
+    us, vs, ws = g.edge_arrays()
+    origins = np.concatenate([us, vs])
+    targets = np.concatenate([vs, us])
+    weights = np.concatenate([ws, ws])
+    if shard_size is None:
+        # Same O(shard · n) footprint rule as kernels.sharded_bfs.
+        shard_size = max(1, (1 << 23) // max(1, g.n))
+    max_hops = max(1, g.n - 1)
+    for lo in range(0, sources.size, shard_size):
+        hi = min(lo + shard_size, sources.size)
+        seed = np.full((hi - lo, g.n), np.inf)
+        seed[np.arange(hi - lo), sources[lo:hi]] = 0.0
+        yield lo, hi, kernels.hop_limited_relax(
+            seed, origins, targets, weights, max_hops
+        )
+
+
+def _drop_self_columns(mask: np.ndarray, srcs: np.ndarray) -> np.ndarray:
+    """Clear each row's own source column (the batched counterpart of the
+    per-vertex loops' ``u != v`` check — robust even when other vertices
+    sit at distance 0, unlike a ``dist > 0`` test)."""
+    mask[np.arange(srcs.size), srcs] = False
+    return mask
+
+
+# ----------------------------------------------------------------------
+# The TZ emulator (Appendix A's comparison construction)
+# ----------------------------------------------------------------------
+
 def build_tz_emulator(
-    g: Graph,
+    g: AnyGraph,
     r: int,
     rng: Optional[np.random.Generator] = None,
     hierarchy: Optional[Hierarchy] = None,
 ) -> TZEmulator:
     """Build the global Thorup–Zwick emulator over ``r`` sampled levels.
 
-    The default path shards the global (unbounded) BFS waves with
-    :func:`repro.kernels.sharded_bfs` and applies the pivot/bunch rule to
-    each level bucket of a shard with mask algebra;
-    ``force_backend("reference")`` selects the original per-vertex loop.
-    Both produce bit-identical emulators.
+    The default path shards the global (unbounded) exploration —
+    :func:`repro.kernels.sharded_bfs` waves for an unweighted
+    :class:`Graph`, :func:`repro.kernels.hop_limited_relax` fixpoints for
+    a :class:`WeightedGraph` — and applies the pivot/bunch rule to each
+    level bucket of a shard with mask algebra;
+    ``force_backend("reference")`` selects the original per-vertex loop
+    (BFS / Dijkstra).  All paths produce bit-identical emulators.
     """
     if hierarchy is None:
         if rng is None:
@@ -72,7 +192,7 @@ def build_tz_emulator(
     if resolve_backend() == "reference":
         for v in range(g.n):
             level = int(hierarchy.levels[v])
-            dist = bfs_distances(g, v)  # global exploration
+            dist = _global_distances_reference(g, v)  # global exploration
             next_members = np.flatnonzero(masks[level + 1] & np.isfinite(dist))
             if next_members.size:
                 order = np.lexsort((next_members, dist[next_members]))
@@ -90,9 +210,7 @@ def build_tz_emulator(
         return TZEmulator(emulator=emulator, hierarchy=hierarchy)
 
     all_vertices = np.arange(g.n, dtype=np.int64)
-    for lo, hi, block in kernels.sharded_bfs(
-        g.indptr, g.indices, g.n, all_vertices
-    ):
+    for lo, hi, block in _global_distance_shards(g, all_vertices):
         srcs = all_vertices[lo:hi]
         finite = np.isfinite(block)
         shard_levels = hierarchy.levels[srcs]
@@ -108,14 +226,132 @@ def build_tz_emulator(
             pivot_dist[piv_rows] = piv_weights
             emulator.add_edges_arrays(srcs[rows[piv_rows]], pivots, piv_weights)
             # Bunch: every S_level member strictly closer than the pivot
-            # (everything reachable in S_level when no pivot exists);
-            # sub > 0 excludes v itself, matching the per-vertex loop.
-            own = (
-                finite[rows] & masks[level]
-                & (sub < pivot_dist[:, None]) & (sub > 0)
+            # (everything reachable in S_level when no pivot exists).
+            own = _drop_self_columns(
+                finite[rows] & masks[level] & (sub < pivot_dist[:, None]),
+                srcs[rows],
             )
             own_rows, own_cols = np.nonzero(own)
             emulator.add_edges_arrays(
                 srcs[rows[own_rows]], own_cols, sub[own_rows, own_cols]
             )
     return TZEmulator(emulator=emulator, hierarchy=hierarchy)
+
+
+# ----------------------------------------------------------------------
+# Classic TZ bunches (the distance-oracle preprocessing)
+# ----------------------------------------------------------------------
+
+def build_tz_bunches(
+    g: AnyGraph,
+    r: int,
+    rng: Optional[np.random.Generator] = None,
+    hierarchy: Optional[Hierarchy] = None,
+) -> TZBunches:
+    """Classic TZ preprocessing over ``k = r + 1`` levels.
+
+    For every vertex ``v`` and every level ``i = 0..r``:
+
+    * **pivot** (``i >= 1``): one edge to the globally closest ``S_i``
+      member ``p_i(v)`` (ties by smallest id);
+    * **bunch**: edges to every ``w ∈ S_i \\ S_{i+1}`` with
+      ``d(v, w) < d(v, S_{i+1})`` (all reachable level-``r`` members at
+      the top, where ``S_{r+1} = ∅``).
+
+    All weights are exact ``g``-distances, so every 2-hop combine
+    ``d(v, w) + d(w, u)`` over the stored star is an upper bound on
+    ``d(v, u)`` (soundness) and the classic pivot-walk argument bounds
+    the best combine by ``(2k - 1) d(v, u)``.  The batched path shards
+    the global exploration like :func:`build_tz_emulator`;
+    ``force_backend("reference")`` runs the per-vertex loop.  Both are
+    bit-identical.
+    """
+    if hierarchy is None:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        hierarchy = sample_hierarchy(g.n, r, rng)
+    masks = hierarchy.masks
+    r = hierarchy.r
+    arcs_s, arcs_d, arcs_w = [], [], []
+
+    if resolve_backend() == "reference":
+        for v in range(g.n):
+            dist = _global_distances_reference(g, v)
+            finite = np.isfinite(dist)
+            for i in range(r + 1):
+                nxt = np.flatnonzero(masks[i + 1] & finite)
+                next_dist = dist[nxt].min() if nxt.size else np.inf
+                if i >= 1:
+                    own_set = np.flatnonzero(masks[i] & finite)
+                    if own_set.size:
+                        order = np.lexsort((own_set, dist[own_set]))
+                        pivot = int(own_set[order[0]])
+                        if pivot != v:
+                            arcs_s.append(np.array([v], dtype=np.int64))
+                            arcs_d.append(np.array([pivot], dtype=np.int64))
+                            arcs_w.append(np.array([dist[pivot]]))
+                bunch = np.flatnonzero(
+                    masks[i] & ~masks[i + 1] & finite & (dist < next_dist)
+                )
+                bunch = bunch[bunch != v]
+                if bunch.size:
+                    arcs_s.append(np.full(bunch.size, v, dtype=np.int64))
+                    arcs_d.append(bunch.astype(np.int64))
+                    arcs_w.append(dist[bunch].astype(np.float64))
+        return _assemble_bunches(g.n, hierarchy, arcs_s, arcs_d, arcs_w)
+
+    all_vertices = np.arange(g.n, dtype=np.int64)
+    for lo, hi, block in _global_distance_shards(g, all_vertices):
+        srcs = all_vertices[lo:hi]
+        finite = np.isfinite(block)
+        for i in range(r + 1):
+            in_next = finite & masks[i + 1]
+            nd_rows, _, nd_weights = kernels.masked_row_argmin(block, in_next)
+            next_dist = np.full(srcs.size, np.inf)
+            next_dist[nd_rows] = nd_weights
+            if i >= 1:
+                piv_rows, pivots, piv_weights = kernels.masked_row_argmin(
+                    block, finite & masks[i]
+                )
+                keep = pivots != srcs[piv_rows]
+                arcs_s.append(srcs[piv_rows[keep]])
+                arcs_d.append(pivots[keep].astype(np.int64))
+                arcs_w.append(piv_weights[keep].astype(np.float64))
+            bunch = _drop_self_columns(
+                finite & masks[i] & ~masks[i + 1]
+                & (block < next_dist[:, None]),
+                srcs,
+            )
+            b_rows, b_cols = np.nonzero(bunch)
+            arcs_s.append(srcs[b_rows])
+            arcs_d.append(b_cols.astype(np.int64))
+            arcs_w.append(block[b_rows, b_cols].astype(np.float64))
+    return _assemble_bunches(g.n, hierarchy, arcs_s, arcs_d, arcs_w)
+
+
+def _assemble_bunches(n, hierarchy, arcs_s, arcs_d, arcs_w) -> TZBunches:
+    """Canonicalize the directed membership arcs — sorted by
+    ``(src, dst)``, duplicates dropped (a pivot re-appearing as a bunch
+    member carries the identical exact distance, so keep-first is
+    value-stable) — and build the undirected star view."""
+    srcs = (
+        np.concatenate(arcs_s) if arcs_s else np.empty(0, dtype=np.int64)
+    )
+    if srcs.size:
+        dsts = np.concatenate(arcs_d)
+        dists = np.concatenate(arcs_w)
+        order = np.lexsort((dsts, srcs))
+        srcs, dsts, dists = srcs[order], dsts[order], dists[order]
+        keep = np.concatenate(
+            [[True], (srcs[1:] != srcs[:-1]) | (dsts[1:] != dsts[:-1])]
+        )
+        srcs, dsts, dists = srcs[keep], dsts[keep], dists[keep]
+    else:
+        srcs = srcs.astype(np.int64)
+        dsts = np.empty(0, dtype=np.int64)
+        dists = np.empty(0, dtype=np.float64)
+    star = WeightedGraph(n)
+    star.add_edges_arrays(srcs, dsts, dists)
+    return TZBunches(
+        star=star, hierarchy=hierarchy, srcs=srcs, dsts=dsts, dists=dists
+    )

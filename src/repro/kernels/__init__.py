@@ -46,6 +46,8 @@ from .parallel import (
     numba_available,
     parallel_mode,
     parallel_profitable,
+    pool_active,
+    shutdown_pool,
     worker_count,
 )
 from .postprocess import fold_in_edges
@@ -76,7 +78,9 @@ __all__ = [
     "numba_available",
     "parallel_mode",
     "parallel_profitable",
+    "pool_active",
     "resolve_backend",
+    "shutdown_pool",
     "set_default_backend",
     "sharded_bfs",
     "slab_gather",

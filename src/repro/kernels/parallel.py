@@ -30,18 +30,30 @@ single float64 addition the reference loop performs and reduces with
 bit-identical to the ``reference`` backend (enforced by
 ``tests/test_kernels.py`` / ``tests/test_parallel_backend.py``).
 
-**Pool mechanics.**  The fallback pool uses the ``fork`` start method:
-operands are published in a module global immediately before the fork,
-so workers read them through copy-on-write shared pages — nothing is
-pickled *into* the pool; only each worker's output block travels back.
-Operands below :data:`MIN_PARALLEL_CELLS` run in-process (the fork cost
-would dominate); :data:`ENV_WORKERS_VAR` overrides the worker count.
+**Pool mechanics.**  The fallback pool uses the ``fork`` start method
+and is *process-persistent*: the first call that engages it forks a
+worker pool once, and every later kernel call reuses the same workers —
+the fork cost (which grows with the parent's resident set) is paid once
+per process instead of once per kernel call.  Because the workers are
+forked before any particular call's operands exist, operands travel
+through POSIX shared memory: the parent copies each array into a
+``multiprocessing.shared_memory`` segment (one memcpy), workers attach
+by name and run the vectorized shard kernels on views — nothing large is
+pickled; only each worker's output block travels back.  The pool is torn
+down by :func:`shutdown_pool` (idempotent, also registered with
+``atexit``) and rebuilt automatically when the requested worker count
+changes; if shared memory or the pool is unavailable the call degrades
+to in-process serial shards with identical output.  Operands below
+:data:`MIN_PARALLEL_CELLS` run in-process (the dispatch overhead would
+dominate); :data:`ENV_WORKERS_VAR` overrides the worker count.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import threading
 import warnings
 from typing import Optional, Sequence, Tuple
 
@@ -56,7 +68,9 @@ __all__ = [
     "numba_available",
     "parallel_mode",
     "parallel_profitable",
+    "pool_active",
     "relax_parallel",
+    "shutdown_pool",
     "worker_count",
 ]
 
@@ -196,10 +210,16 @@ def _announce_fallback() -> None:
 
 
 # ----------------------------------------------------------------------
-# Multiprocessing rung: forked shard pool over copy-on-write operands
+# Multiprocessing rung: a persistent forked shard pool fed through
+# shared-memory segments
 # ----------------------------------------------------------------------
 
-_PAYLOAD: Optional[tuple] = None  # operands published to forked workers
+_PAYLOAD: Optional[tuple] = None  # operands visible to the shard workers
+
+_POOL = None  # the persistent fork pool (created lazily)
+_POOL_WORKERS = 0
+_POOL_LOCK = threading.Lock()  # guards pool creation/teardown
+_ATEXIT_REGISTERED = False
 
 
 def _shard_bounds(total: int, shards: int) -> Sequence[Tuple[int, int]]:
@@ -209,30 +229,177 @@ def _shard_bounds(total: int, shards: int) -> Sequence[Tuple[int, int]]:
     return [(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
 
 
-def _map_shards(worker, payload, total_rows: int):
-    """Run ``worker`` over row shards of the published ``payload`` and
-    return the per-shard results in row order.  Uses the fork pool when
-    the host has one; runs the same worker functions in-process (shared
-    payload, no fork) otherwise — identical results either way.
+def pool_active() -> bool:
+    """Whether the persistent shard pool is currently alive."""
+    return _POOL is not None
 
-    The pool is deliberately created *per call*: workers see the
-    operands through the fork's copy-on-write pages, which only works if
-    the fork happens after ``_PAYLOAD`` is published.  A persistent pool
-    would have to pickle every operand into the workers instead — for
-    the array sizes that reach this rung the fork cost (a few ms) is the
-    cheaper trade.  The serial cutoff in each entry point keeps small
-    calls from paying it at all."""
+
+def shutdown_pool() -> None:
+    """Terminate the persistent shard pool (idempotent, thread-safe).
+
+    Registered with ``atexit`` when the pool is first created, so a
+    process never exits with live workers; call it explicitly to release
+    the workers early (a server draining before reload, a test tearing
+    down a forced pool).  The next kernel call that needs the pool simply
+    forks a fresh one.  Do not tear the pool down (or change
+    ``REPRO_KERNEL_WORKERS``) while another thread's kernel call is in
+    flight on it — like the backend knobs in :mod:`repro.kernels.config`,
+    reconfiguration is a single-threaded setup operation.
+    """
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.terminate()
+            _POOL.join()
+            _POOL = None
+            _POOL_WORKERS = 0
+
+
+def _get_pool(workers: int):
+    """The persistent fork pool, (re)created to match ``workers``.
+    Creation/rebuild is serialized so concurrent first calls cannot each
+    fork a pool and orphan one of them."""
+    global _POOL, _POOL_WORKERS, _ATEXIT_REGISTERED
+    if _POOL is not None and _POOL_WORKERS != workers:
+        shutdown_pool()  # worker-count override changed: rebuild
+    with _POOL_LOCK:
+        if _POOL is None:
+            ctx = multiprocessing.get_context("fork")
+            _POOL = ctx.Pool(processes=workers)
+            _POOL_WORKERS = workers
+            if not _ATEXIT_REGISTERED:
+                atexit.register(shutdown_pool)
+                _ATEXIT_REGISTERED = True
+        return _POOL
+
+
+class _PoolUnavailable(Exception):
+    """Internal: the persistent pool / shared memory could not be used;
+    the caller falls back to in-process serial shards."""
+
+
+def _publish_shared(payload):
+    """Copy the payload's arrays into shared-memory segments.
+
+    Returns ``(segments, slots)`` where ``slots`` mirrors the payload
+    tuple: arrays become ``("shm", name, shape, dtype)`` descriptors the
+    workers re-attach by name, scalars pass through as ``("val", x)``.
+    """
+    from multiprocessing import shared_memory
+
+    segments, slots = [], []
+    try:
+        for item in payload:
+            if isinstance(item, np.ndarray):
+                arr = np.ascontiguousarray(item)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                segments.append(shm)
+                view = np.ndarray(arr.shape, arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                slots.append(("shm", shm.name, arr.shape, arr.dtype.str))
+            else:
+                slots.append(("val", item))
+    except Exception as exc:  # no /dev/shm, quota, …: degrade, don't fail
+        for shm in segments:
+            shm.close()
+            shm.unlink()
+        raise _PoolUnavailable(str(exc))
+    return segments, slots
+
+
+def _attach_shared(slots):
+    """Worker side of :func:`_publish_shared`: rebuild the payload tuple
+    from the slot descriptors (attaching segments by name)."""
+    from multiprocessing import shared_memory
+
+    payload, handles = [], []
+    for slot in slots:
+        if slot[0] == "shm":
+            _, name, shape, dtype = slot
+            shm = shared_memory.SharedMemory(name=name)
+            try:
+                # Attaching registers the segment with the resource
+                # tracker as if this process owned it (bpo-39959); undo
+                # that so worker exits don't try to unlink the parent's
+                # segments (the parent unlinks them itself).
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+            handles.append(shm)
+            payload.append(np.ndarray(shape, np.dtype(dtype), buffer=shm.buf))
+        else:
+            payload.append(slot[1])
+    return tuple(payload), handles
+
+
+def _pool_entry(task):
+    """Runs inside a pool worker: rebuild the payload from shared memory,
+    run the named shard kernel, release the segments."""
+    kind, bounds, slots = task
     global _PAYLOAD
-    bounds = _shard_bounds(total_rows, worker_count())
+    payload, handles = _attach_shared(slots)
     _PAYLOAD = payload
     try:
-        if len(bounds) > 1 and _fork_available():
-            ctx = multiprocessing.get_context("fork")
-            with ctx.Pool(processes=len(bounds)) as pool:
-                return pool.map(worker, bounds)
+        return _SHARD_WORKERS[kind](bounds)
+    finally:
+        _PAYLOAD = None
+        del payload
+        for shm in handles:
+            try:
+                shm.close()
+            except BufferError:  # a stray view still alive: leak the
+                pass             # handle, the parent unlink still frees it
+
+
+def _map_shards(kind: str, payload, total_rows: int):
+    """Run the ``kind`` shard worker over row shards of ``payload`` and
+    return the per-shard results in row order.
+
+    Multi-shard calls go to the persistent fork pool with operands
+    published through shared memory; single-shard calls, hosts without
+    ``fork``, and shared-memory failures all run the same worker
+    functions in-process — identical results either way.  The serial
+    cutoff in each entry point keeps small calls from engaging the pool
+    at all."""
+    global _PAYLOAD
+    worker = _SHARD_WORKERS[kind]
+    bounds = _shard_bounds(total_rows, worker_count())
+    if len(bounds) > 1 and _fork_available():
+        try:
+            return _map_on_pool(kind, payload, bounds)
+        except _PoolUnavailable:
+            pass
+    _PAYLOAD = payload
+    try:
         return [worker(b) for b in bounds]
     finally:
         _PAYLOAD = None
+
+
+def _map_on_pool(kind: str, payload, bounds):
+    """Dispatch shard tasks onto the persistent pool."""
+    try:
+        pool = _get_pool(worker_count())
+    except Exception as exc:
+        raise _PoolUnavailable(str(exc))
+    segments, slots = _publish_shared(payload)
+    try:
+        return pool.map(_pool_entry, [(kind, b, slots) for b in bounds])
+    except _PoolUnavailable:
+        raise
+    except Exception:
+        # A broken pool must not poison later calls: tear it down so the
+        # next engagement forks a fresh one, then surface the error.
+        shutdown_pool()
+        raise
+    finally:
+        for shm in segments:
+            shm.close()
+            shm.unlink()
 
 
 def _minplus_shard(bounds: Tuple[int, int]) -> np.ndarray:
@@ -259,6 +426,15 @@ def _bfs_shard(bounds: Tuple[int, int]) -> np.ndarray:
     block = np.full((n, hi - lo), np.inf)
     _batched_wave(indptr, indices, n, src[lo:hi], radii[lo:hi], block)
     return block
+
+
+#: Shard kernels by wire name (what travels to the pool workers —
+#: functions are resolved by name on both sides of the fork).
+_SHARD_WORKERS = {
+    "minplus": _minplus_shard,
+    "relax": _relax_shard,
+    "bfs": _bfs_shard,
+}
 
 
 # ----------------------------------------------------------------------
@@ -358,7 +534,7 @@ def minplus_parallel(s: np.ndarray, t: np.ndarray) -> np.ndarray:
     rows = s.shape[0]
     if rows * t.shape[1] < MIN_PARALLEL_CELLS or worker_count() == 1:
         return minplus_csr(s, t)
-    blocks = _map_shards(_minplus_shard, (s, t), rows)
+    blocks = _map_shards("minplus", (s, t), rows)
     return np.vstack(blocks) if blocks else np.full((0, t.shape[1]), np.inf)
 
 
@@ -392,7 +568,7 @@ def relax_parallel(
     if dist.size < MIN_PARALLEL_CELLS or worker_count() == 1 or rows < 2:
         return _relax_rounds(dist, origins, targets, weights, max_hops)
     blocks = _map_shards(
-        _relax_shard, (dist, origins, targets, weights, max_hops), rows
+        "relax", (dist, origins, targets, weights, max_hops), rows
     )
     return np.vstack(blocks)
 
@@ -431,5 +607,5 @@ def bfs_waves_parallel(
         block = np.full((n, src.size), np.inf)
         _batched_wave(indptr, indices, n, src, radii, block)
         return np.ascontiguousarray(block.T)
-    blocks = _map_shards(_bfs_shard, (indptr, indices, n, src, radii), src.size)
+    blocks = _map_shards("bfs", (indptr, indices, n, src, radii), src.size)
     return np.ascontiguousarray(np.hstack(blocks).T)

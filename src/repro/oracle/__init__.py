@@ -1,0 +1,57 @@
+"""The serving layer: preprocess once, answer millions of queries.
+
+Every algorithm module in this library is one-shot — build, verify,
+print, exit.  This package turns the expensive Dory–Parter preprocessing
+(emulator + ``(1+eps, beta)`` estimates, Thm 29/32; classic Thorup–Zwick
+bunches, Appendix A) into a persistent *artifact* behind a query front
+end, the preprocess/query split production distance services amortize:
+
+* :mod:`repro.oracle.artifact` — versioned on-disk snapshots (npz +
+  JSON manifest: variant, stretch guarantee, round-ledger totals, graph
+  hash) with :func:`save_artifact` / :func:`load_artifact` round-tripping
+  any supported preprocessing;
+* :mod:`repro.oracle.engine` — :class:`DistanceOracle`: vectorized
+  batched distance / path queries answered from the artifact through the
+  kernel layer, with an LRU result cache and per-query stretch
+  certificates;
+* :mod:`repro.oracle.service` — :class:`OracleService` (JSON
+  request/response semantics) and a stdlib ``ThreadingHTTPServer`` front
+  end (``repro serve``), no new dependencies.
+
+DESIGN.md §6 documents the artifact format, query semantics, and cache
+policy; benchmark E19 (``benchmarks/bench_oracle.py``) records the
+single-vs-batched serving throughput.
+"""
+
+from .artifact import (
+    ArtifactError,
+    ArtifactMismatch,
+    FORMAT_VERSION,
+    MATRIX_VARIANTS,
+    OracleArtifact,
+    VARIANTS,
+    build_oracle,
+    graph_fingerprint,
+    load_artifact,
+    save_artifact,
+)
+from .engine import DistanceOracle, QueryCertificate
+from .service import OracleService, make_server, serve
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactMismatch",
+    "DistanceOracle",
+    "FORMAT_VERSION",
+    "MATRIX_VARIANTS",
+    "OracleArtifact",
+    "OracleService",
+    "QueryCertificate",
+    "VARIANTS",
+    "build_oracle",
+    "graph_fingerprint",
+    "load_artifact",
+    "make_server",
+    "save_artifact",
+    "serve",
+]

@@ -1,0 +1,401 @@
+"""Versioned on-disk oracle artifacts (the preprocess side of serving).
+
+An artifact is a directory with two files:
+
+* ``manifest.json`` — provenance and guarantees: format version,
+  variant, ``eps`` / ``r``, the proven ``(multiplicative, additive)``
+  stretch, round-ledger totals and breakdown, the SHA-256 fingerprint of
+  the preprocessed graph, and the artifact *kind*;
+* ``arrays.npz`` — the numeric payload (compressed, loaded with
+  ``allow_pickle=False``).
+
+Two kinds exist:
+
+* ``"matrix"`` — a full ``(n, n)`` estimate matrix (the near-additive /
+  2+eps / 3+eps / exact APSP variants); queries gather from it.
+* ``"bunches"`` — the classic Thorup–Zwick pivot/bunch relation
+  (:func:`repro.emulator.thorup_zwick.build_tz_bunches`) stored as
+  directed arc arrays, ``O(k n^{1+1/k})`` space; queries run the 2-hop
+  ``B(u) ∩ B(v)`` min-plus combine.
+
+The manifest's ``graph_hash`` makes staleness detectable: loading with
+``expected_graph=`` (or serving a query engine built for a different
+graph) fails loudly with :class:`ArtifactMismatch` instead of silently
+answering for the wrong graph.  Newer ``format_version`` values are
+rejected (forward compatibility is explicit, not accidental).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..apsp import apsp_near_additive, apsp_three_plus_eps, apsp_two_plus_eps
+from ..apsp.baselines import exact_apsp
+from ..apsp.weighted import apsp_weighted
+from ..cliquesim.ledger import RoundLedger
+from ..emulator.params import EmulatorParams
+from ..emulator.thorup_zwick import build_tz_bunches
+from ..graph.distances import weighted_all_pairs
+from ..graph.graph import Graph, WeightedGraph
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactMismatch",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ARRAYS_NAME",
+    "MATRIX_VARIANTS",
+    "OracleArtifact",
+    "VARIANTS",
+    "build_oracle",
+    "graph_fingerprint",
+    "load_artifact",
+    "save_artifact",
+]
+
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+ARRAYS_NAME = "arrays.npz"
+
+#: Variants whose artifact stores the full (n, n) estimate matrix.
+MATRIX_VARIANTS = ("2eps", "3eps", "exact", "near-additive")
+
+#: All supported preprocessing variants ("tz" stores TZ bunches).
+VARIANTS = MATRIX_VARIANTS + ("tz",)
+
+AnyGraph = Union[Graph, WeightedGraph]
+
+
+class ArtifactError(Exception):
+    """A malformed, unsupported, or incomplete oracle artifact."""
+
+
+class ArtifactMismatch(ArtifactError):
+    """An artifact that does not match the graph it is being used for."""
+
+
+def graph_fingerprint(g: AnyGraph) -> str:
+    """SHA-256 fingerprint of a graph's canonical edge representation.
+
+    Stable across build paths (both graph classes canonicalize their
+    edge arrays) and distinguishes weighted from unweighted graphs of
+    the same topology.
+    """
+    h = hashlib.sha256()
+    if isinstance(g, WeightedGraph):
+        us, vs, ws = g.edge_arrays()
+        h.update(b"weighted")
+        h.update(np.int64(g.n).tobytes())
+        h.update(np.ascontiguousarray(us, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(vs, dtype=np.int64).tobytes())
+        h.update(np.ascontiguousarray(ws, dtype=np.float64).tobytes())
+    else:
+        h.update(b"graph")
+        h.update(np.int64(g.n).tobytes())
+        h.update(
+            np.ascontiguousarray(g.edges(), dtype=np.int64).tobytes()
+        )
+    return h.hexdigest()
+
+
+@dataclass
+class OracleArtifact:
+    """A preprocessing snapshot: JSON-able manifest + numeric arrays."""
+
+    manifest: Dict[str, object]
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def kind(self) -> str:
+        """``"matrix"`` or ``"bunches"``."""
+        return str(self.manifest["kind"])
+
+    @property
+    def variant(self) -> str:
+        """The preprocessing variant this artifact snapshots."""
+        return str(self.manifest["variant"])
+
+    @property
+    def n(self) -> int:
+        """Vertex count of the preprocessed graph."""
+        return int(self.manifest["n"])
+
+    @property
+    def multiplicative(self) -> float:
+        """Proven multiplicative stretch of every served estimate."""
+        return float(self.manifest["multiplicative"])
+
+    @property
+    def additive(self) -> float:
+        """Proven additive slack of every served estimate."""
+        return float(self.manifest["additive"])
+
+    @property
+    def graph_hash(self) -> str:
+        """Fingerprint of the graph the artifact was built from."""
+        return str(self.manifest["graph_hash"])
+
+    def graph(self) -> Optional[AnyGraph]:
+        """The embedded source graph, or ``None`` if not included."""
+        if not self.manifest.get("includes_graph"):
+            return None
+        if self.manifest.get("weighted"):
+            wg = WeightedGraph(self.n)
+            wg.add_edges_arrays(
+                self.arrays["graph_us"],
+                self.arrays["graph_vs"],
+                self.arrays["graph_ws"],
+            )
+            return wg
+        return Graph(self.n, self.arrays["graph_edges"])
+
+    def check_graph(self, g: AnyGraph) -> None:
+        """Raise :class:`ArtifactMismatch` unless ``g`` is the graph this
+        artifact was preprocessed from."""
+        got = graph_fingerprint(g)
+        if got != self.graph_hash:
+            raise ArtifactMismatch(
+                f"artifact was built for graph {self.graph_hash[:12]}…, "
+                f"queried graph hashes to {got[:12]}… — rebuild the "
+                "artifact (repro build-oracle) before serving this graph"
+            )
+
+    def nbytes(self) -> int:
+        """Total array payload size in bytes."""
+        return int(sum(a.nbytes for a in self.arrays.values()))
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays in stats payloads to JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def _embed_graph(g: AnyGraph, arrays: Dict[str, np.ndarray]) -> None:
+    if isinstance(g, WeightedGraph):
+        us, vs, ws = g.edge_arrays()
+        arrays["graph_us"] = np.asarray(us, dtype=np.int64)
+        arrays["graph_vs"] = np.asarray(vs, dtype=np.int64)
+        arrays["graph_ws"] = np.asarray(ws, dtype=np.float64)
+    else:
+        arrays["graph_edges"] = np.asarray(g.edges(), dtype=np.int64)
+
+
+def build_oracle(
+    g: AnyGraph,
+    variant: str = "near-additive",
+    eps: float = 0.5,
+    r: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    include_graph: bool = True,
+) -> OracleArtifact:
+    """Run one preprocessing variant and snapshot it as an artifact.
+
+    ``include_graph`` embeds the source graph's edges (needed for path
+    queries and for hash-free re-verification; costs ``O(m)`` space).
+    Weighted graphs support the ``"near-additive"`` (via subdivision),
+    ``"exact"`` and ``"tz"`` variants; the paper's 2+eps / 3+eps
+    pipelines are unweighted-only.
+    """
+    if variant not in VARIANTS:
+        raise ArtifactError(
+            f"unknown oracle variant {variant!r}; expected one of {VARIANTS}"
+        )
+    weighted = isinstance(g, WeightedGraph)
+    if weighted and variant in ("2eps", "3eps"):
+        raise ArtifactError(
+            f"variant {variant!r} is unweighted-only; use 'near-additive' "
+            "(subdivision), 'exact', or 'tz' for weighted graphs"
+        )
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if r is None:
+        r = EmulatorParams.default_r(g.n)
+
+    arrays: Dict[str, np.ndarray] = {}
+    manifest: Dict[str, object] = {
+        "format_version": FORMAT_VERSION,
+        "variant": variant,
+        "n": int(g.n),
+        "graph_m": int(g.m),
+        "weighted": weighted,
+        "eps": float(eps),
+        "r": int(r),
+        "graph_hash": graph_fingerprint(g),
+        "includes_graph": bool(include_graph),
+    }
+
+    if variant == "tz":
+        bunches = build_tz_bunches(g, r=r, rng=rng)
+        arrays["bunch_srcs"] = np.asarray(bunches.srcs, dtype=np.int64)
+        arrays["bunch_dsts"] = np.asarray(bunches.dsts, dtype=np.int64)
+        arrays["bunch_ds"] = np.asarray(bunches.dists, dtype=np.float64)
+        arrays["tz_levels"] = np.asarray(
+            bunches.hierarchy.levels, dtype=np.int64
+        )
+        manifest.update(
+            kind="bunches",
+            name=f"TZ-bunches[k={bunches.k}]",
+            multiplicative=float(bunches.stretch),
+            additive=0.0,
+            rounds_total=None,
+            rounds_breakdown=None,
+            stats={
+                "bunch_edges": int(bunches.num_edges),
+                "k": int(bunches.k),
+                "set_sizes": _jsonable(bunches.hierarchy.sizes()),
+            },
+        )
+    else:
+        result = _run_matrix_variant(g, variant, eps, r, rng, weighted)
+        arrays["estimates"] = np.asarray(result.estimates, dtype=np.float64)
+        manifest.update(
+            kind="matrix",
+            name=result.name,
+            multiplicative=float(result.multiplicative),
+            additive=float(result.additive),
+            rounds_total=float(result.ledger.total),
+            rounds_breakdown=_jsonable(result.ledger.breakdown()),
+            stats=_jsonable(result.stats),
+        )
+
+    manifest["guarantee"] = (
+        "d_G(u,v) <= estimate <= "
+        f"{manifest['multiplicative']} * d_G(u,v) + {manifest['additive']}"
+    )
+    if include_graph:
+        _embed_graph(g, arrays)
+    return OracleArtifact(manifest=manifest, arrays=arrays)
+
+
+def _run_matrix_variant(g, variant, eps, r, rng, weighted):
+    if weighted:
+        if variant == "near-additive":
+            return apsp_weighted(g, eps=eps, r=r, rng=rng)
+        # variant == "exact": wrap the Dijkstra oracle in a DistanceResult
+        from ..apsp.result import DistanceResult
+
+        ledger = RoundLedger()
+        ledger.charge(max(1.0, g.n ** 0.158), "oracle:exact-weighted-apsp")
+        return DistanceResult(
+            name="exact-APSP[weighted]",
+            estimates=weighted_all_pairs(g),
+            multiplicative=1.0,
+            additive=0.0,
+            ledger=ledger,
+        )
+    if variant == "near-additive":
+        return apsp_near_additive(g, eps=eps, r=r, rng=rng)
+    if variant == "2eps":
+        return apsp_two_plus_eps(g, eps=eps, r=r, rng=rng)
+    if variant == "3eps":
+        return apsp_three_plus_eps(g, eps=eps, r=r, rng=rng)
+    return exact_apsp(g)
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+
+_REQUIRED_MANIFEST_KEYS = (
+    "format_version",
+    "kind",
+    "variant",
+    "n",
+    "multiplicative",
+    "additive",
+    "graph_hash",
+)
+
+_KIND_ARRAYS = {
+    "matrix": ("estimates",),
+    "bunches": ("bunch_srcs", "bunch_dsts", "bunch_ds"),
+}
+
+
+def save_artifact(artifact: OracleArtifact, path: str) -> None:
+    """Write an artifact directory (``manifest.json`` + ``arrays.npz``)."""
+    os.makedirs(path, exist_ok=True)
+    with open(os.path.join(path, MANIFEST_NAME), "w") as fh:
+        json.dump(artifact.manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    np.savez_compressed(os.path.join(path, ARRAYS_NAME), **artifact.arrays)
+
+
+def load_artifact(
+    path: str, expected_graph: Optional[AnyGraph] = None
+) -> OracleArtifact:
+    """Read an artifact directory back, validating version, completeness
+    and (optionally) the graph fingerprint.
+
+    Raises :class:`ArtifactError` on missing/malformed files or a newer
+    format version, :class:`ArtifactMismatch` when ``expected_graph``
+    does not hash to the manifest's ``graph_hash``.
+    """
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    arrays_path = os.path.join(path, ARRAYS_NAME)
+    if not os.path.isfile(manifest_path) or not os.path.isfile(arrays_path):
+        raise ArtifactError(
+            f"{path!r} is not an oracle artifact (expected "
+            f"{MANIFEST_NAME} and {ARRAYS_NAME})"
+        )
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"unreadable manifest in {path!r}: {exc}")
+    for key in _REQUIRED_MANIFEST_KEYS:
+        if key not in manifest:
+            raise ArtifactError(f"manifest in {path!r} is missing {key!r}")
+    try:
+        version = int(manifest["format_version"])
+    except (TypeError, ValueError):
+        raise ArtifactError(
+            f"manifest in {path!r} has a non-integer format_version "
+            f"{manifest['format_version']!r}"
+        )
+    if version > FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact format version {version} is newer than this "
+            f"library supports ({FORMAT_VERSION}); upgrade the library "
+            "or rebuild the artifact"
+        )
+    for key, cast in (("n", int), ("multiplicative", float), ("additive", float)):
+        try:
+            cast(manifest[key])
+        except (TypeError, ValueError):
+            raise ArtifactError(
+                f"manifest in {path!r} has a non-numeric {key!r}: "
+                f"{manifest[key]!r}"
+            )
+    kind = str(manifest["kind"])
+    if kind not in _KIND_ARRAYS:
+        raise ArtifactError(f"unknown artifact kind {kind!r} in {path!r}")
+    with np.load(arrays_path, allow_pickle=False) as data:
+        arrays = {key: data[key] for key in data.files}
+    for key in _KIND_ARRAYS[kind]:
+        if key not in arrays:
+            raise ArtifactError(
+                f"artifact {path!r} ({kind}) is missing array {key!r}"
+            )
+    artifact = OracleArtifact(manifest=manifest, arrays=arrays)
+    if expected_graph is not None:
+        artifact.check_graph(expected_graph)
+    return artifact

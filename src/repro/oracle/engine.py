@@ -1,0 +1,472 @@
+"""The query side of the serving layer: :class:`DistanceOracle`.
+
+Answers point-to-point distance and path queries from an
+:class:`~repro.oracle.artifact.OracleArtifact`:
+
+* **matrix artifacts** — a batched query is one fancy-index gather
+  ``estimates[us, vs]``;
+* **bunches artifacts** — the classic 2-hop Thorup–Zwick combine
+  ``min_w d(u, w) + d(v, w)`` over the common members
+  ``w ∈ B(u) ∩ B(v)`` of the two *directed* bunch out-stars (the pivot
+  walk's witness ``p_i`` always lies in both stars, which yields the
+  ``2k - 1`` stretch and finiteness on connected pairs; the
+  ``Θ(n)``-sized clusters ``C(w)`` are never touched, keeping per-query
+  work ``O(k n^{1/k})``).  Vectorized for a batch by grouping queries on
+  the source vertex: each group scatters ``B(u)`` into a reused dense
+  ``(n,)`` distance vector, then one flat gather/add over the group's
+  ``B(v)`` CSR slabs plus one ``np.minimum.reduceat`` per group answers
+  every query (non-members read ``inf`` and drop out of the min — no
+  per-query search structures).  Value ties resolve to the **smallest
+  witness id** (the library-wide tie-break), and a stored direct arc
+  ``u -> v`` or ``v -> u`` participates as witness ``v``.
+
+Single queries run through a small LRU result cache (direction-faithful
+``(u, v)`` keys, thread-safe — the HTTP front end serves from a thread
+pool); batched queries bypass it.  :meth:`DistanceOracle.certificate`
+returns the per-query stretch certificate implied by the artifact's
+proven ``(multiplicative, additive)`` guarantee, and
+:meth:`DistanceOracle.stretch_report` scores any answered batch against
+exact distances via :func:`repro.analysis.stretch.evaluate_stretch`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stretch import StretchReport, evaluate_stretch
+from ..graph.graph import Graph, WeightedGraph
+from .artifact import ArtifactError, OracleArtifact, load_artifact
+
+__all__ = ["DistanceOracle", "QueryCertificate", "DEFAULT_CACHE_SIZE"]
+
+#: Default LRU result-cache capacity (entries, one per unordered pair).
+DEFAULT_CACHE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class QueryCertificate:
+    """What the artifact *proves* about one answered query.
+
+    The estimate is sound (``d_G(u, v) <= estimate``) and within the
+    preprocessing's guarantee (``estimate <= mult * d + add``), so the
+    true distance is bracketed::
+
+        (estimate - additive) / multiplicative  <=  d_G(u, v)  <=  estimate
+
+    ``witness`` is the combine vertex for bunches artifacts (smallest id
+    at the minimum; ``None`` for matrix artifacts and unreachable pairs).
+    """
+
+    u: int
+    v: int
+    estimate: float
+    multiplicative: float
+    additive: float
+    witness: Optional[int] = None
+
+    @property
+    def lower_bound(self) -> float:
+        """Proven lower bound on the true distance."""
+        if not np.isfinite(self.estimate):
+            return np.inf
+        return max(0.0, (self.estimate - self.additive) / self.multiplicative)
+
+    @property
+    def upper_bound(self) -> float:
+        """Proven upper bound on the true distance (the estimate)."""
+        return self.estimate
+
+    def holds_for(self, exact: float, atol: float = 1e-9) -> bool:
+        """Whether a known exact distance satisfies the certificate."""
+        if not np.isfinite(self.estimate):
+            return not np.isfinite(exact)
+        return self.lower_bound - atol <= exact <= self.upper_bound + atol
+
+
+class DistanceOracle:
+    """Serves distance / path queries from a preprocessing artifact."""
+
+    def __init__(
+        self,
+        artifact: OracleArtifact,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
+        self.artifact = artifact
+        self.n = artifact.n
+        self.kind = artifact.kind
+        self.multiplicative = artifact.multiplicative
+        self.additive = artifact.additive
+        self._cache_size = int(cache_size)
+        self._cache: "OrderedDict[Tuple[int, int], Tuple[float, Optional[int]]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._queries = 0
+        self._batched = 0
+        self._graph: Optional[object] = None
+        self._path_oracle = None
+        if self.kind == "matrix":
+            self._est = np.asarray(artifact.arrays["estimates"], dtype=np.float64)
+            if self._est.shape != (self.n, self.n):
+                raise ArtifactError(
+                    f"matrix artifact has estimates of shape {self._est.shape}, "
+                    f"expected {(self.n, self.n)}"
+                )
+        elif self.kind == "bunches":
+            self._indptr, self._cols, self._ds = _directed_csr(
+                self.n,
+                artifact.arrays["bunch_srcs"],
+                artifact.arrays["bunch_dsts"],
+                artifact.arrays["bunch_ds"],
+            )
+        else:
+            raise ArtifactError(f"unknown artifact kind {self.kind!r}")
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        expected_graph=None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> "DistanceOracle":
+        """Load an artifact directory and wrap it in an oracle."""
+        return cls(
+            load_artifact(path, expected_graph=expected_graph),
+            cache_size=cache_size,
+        )
+
+    # ------------------------------------------------------------------
+    # Distance queries
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """One point-to-point distance estimate (LRU-cached)."""
+        return self._query_full(u, v)[0]
+
+    def _query_full(self, u: int, v: int) -> Tuple[float, Optional[int]]:
+        u, v = self._check_pair(u, v)
+        # Direction-faithful key: answers are exactly what a batch gather
+        # for (u, v) returns, even if a matrix variant were asymmetric.
+        key = (u, v)
+        if self._cache_size > 0:
+            with self._lock:
+                self._queries += 1
+                hit = self._cache.get(key)
+                if hit is not None:
+                    self._hits += 1
+                    self._cache.move_to_end(key)
+                    return hit
+                self._misses += 1
+        else:
+            with self._lock:
+                self._queries += 1
+                self._misses += 1
+        us = np.array([key[0]], dtype=np.int64)
+        vs = np.array([key[1]], dtype=np.int64)
+        values, witnesses = self._answer_batch(us, vs)
+        wit = int(witnesses[0]) if witnesses[0] >= 0 else None
+        answer = (float(values[0]), wit)
+        if self._cache_size > 0:
+            with self._lock:
+                self._cache[key] = answer
+                self._cache.move_to_end(key)
+                while len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return answer
+
+    def query_batch(
+        self, us: Sequence[int], vs: Sequence[int]
+    ) -> np.ndarray:
+        """Vectorized distances for parallel index arrays ``us`` / ``vs``
+        (bypasses the cache; one kernel pass for the whole batch)."""
+        us = np.asarray(us, dtype=np.int64)
+        vs = np.asarray(vs, dtype=np.int64)
+        if us.shape != vs.shape or us.ndim != 1:
+            raise ValueError("us and vs must be equal-length 1-D arrays")
+        if us.size and (
+            us.min() < 0 or us.max() >= self.n
+            or vs.min() < 0 or vs.max() >= self.n
+        ):
+            raise IndexError(f"query vertex out of range for n={self.n}")
+        with self._lock:
+            self._queries += us.size
+            self._batched += us.size
+        values, _ = self._answer_batch(us, vs, want_witness=False)
+        return values
+
+    def certificate(self, u: int, v: int) -> QueryCertificate:
+        """The stretch certificate for one query (cached like ``query``)."""
+        estimate, witness = self._query_full(u, v)
+        return QueryCertificate(
+            u=int(u),
+            v=int(v),
+            estimate=estimate,
+            multiplicative=self.multiplicative,
+            additive=self.additive,
+            witness=witness,
+        )
+
+    def stretch_report(
+        self,
+        us: Sequence[int],
+        vs: Sequence[int],
+        exact: Sequence[float],
+    ) -> StretchReport:
+        """Score a batch of queries against known exact distances via
+        :func:`repro.analysis.stretch.evaluate_stretch`."""
+        estimates = self.query_batch(us, vs)
+        return evaluate_stretch(
+            estimates, np.asarray(exact, dtype=np.float64),
+            additive=self.additive,
+        )
+
+    # ------------------------------------------------------------------
+    # Path queries
+    # ------------------------------------------------------------------
+    def path(self, u: int, v: int) -> Optional[List[int]]:
+        """A concrete ``G``-path for the query, or ``None`` if
+        unreachable.
+
+        Requires the artifact to embed its (unweighted) source graph.
+        Bunches artifacts expand the shortest bunch-star path edge by
+        edge (each star edge is an exact distance, so the expansion
+        certifies the 2-hop estimate from above); matrix artifacts answer
+        with an exact BFS path of the embedded graph (its length is a
+        lower-bound certificate for the served estimate).
+        """
+        u, v = self._check_pair(u, v)
+        g = self._embedded_graph()
+        if isinstance(g, WeightedGraph):
+            raise ArtifactError(
+                "path queries are supported for unweighted source graphs"
+            )
+        if u == v:
+            return [u]
+        if self.kind == "bunches":
+            oracle = self._bunch_path_oracle(g)
+            return oracle.graph_path(u, v)
+        return _bfs_path(g, u, v)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Serving counters (queries, batch share, cache behaviour)."""
+        with self._lock:
+            return {
+                "queries": self._queries,
+                "batched_queries": self._batched,
+                "cache_hits": self._hits,
+                "cache_misses": self._misses,
+                "cache_entries": len(self._cache),
+                "cache_capacity": self._cache_size,
+            }
+
+    def clear_cache(self) -> None:
+        """Drop every cached result (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_pair(self, u, v) -> Tuple[int, int]:
+        u, v = int(u), int(v)
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise IndexError(f"query ({u}, {v}) out of range for n={self.n}")
+        return u, v
+
+    def _answer_batch(
+        self, us: np.ndarray, vs: np.ndarray, want_witness: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(values, witnesses)`` for a validated batch (witness -1 when
+        none applies).  ``want_witness=False`` skips the witness
+        reductions — the values are identical either way, and plain
+        ``query_batch`` traffic (the serving hot path) only needs them."""
+        if self.kind == "matrix":
+            values = self._est[us, vs]
+            return values, np.full(us.size, -1, dtype=np.int64)
+        return self._combine_batch(us, vs, want_witness)
+
+    def _combine_batch(
+        self, us: np.ndarray, vs: np.ndarray, want_witness: bool = True
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The vectorized 2-hop ``B(u) ∩ B(v)`` combine (see module doc).
+
+        Queries are grouped by source: each group scatters ``B(u)`` into
+        a reused dense ``(n,)`` distance vector once, then one flat
+        gather/add over the group's ``B(v)`` CSR slabs produces every
+        candidate ``d(u, w) + d(v, w)`` (non-members read ``inf`` from
+        the dense vector and drop out of the min), and one
+        ``np.minimum.reduceat`` per group reduces each query.  Work is
+        ``O(sum |B(v)|)`` gathers — no per-query search structures.
+        """
+        n = self.n
+        q = us.size
+        out = np.full(q, np.inf)
+        # Sentinel n = "no witness yet": keeps the smallest-id reduction
+        # branch-free; converted to -1 before returning.
+        wit = np.full(q, n, dtype=np.int64)
+        if q == 0:
+            return out, np.full(0, -1, dtype=np.int64)
+        indptr, cols, ds = self._indptr, self._cols, self._ds
+
+        order = np.argsort(us, kind="stable")
+        sus, svs = us[order], vs[order]
+        bounds = np.flatnonzero(
+            np.concatenate([[True], sus[1:] != sus[:-1]])
+        )
+        dense = np.full(n, np.inf)  # reused B(u) scatter target
+        for gi in range(bounds.size):
+            start = bounds[gi]
+            end = bounds[gi + 1] if gi + 1 < bounds.size else q
+            u = int(sus[start])
+            qidx = order[start:end]  # original positions of this group
+            gvs = svs[start:end]
+            u_lo, u_hi = int(indptr[u]), int(indptr[u + 1])
+            ucols = cols[u_lo:u_hi]
+            dense[ucols] = ds[u_lo:u_hi]
+
+            v_pos, owners = _flat_slabs(indptr, gvs)
+            if v_pos.size:
+                vcols = cols[v_pos]
+                vds = ds[v_pos]
+                cand = dense[vcols] + vds
+                starts = np.flatnonzero(
+                    np.concatenate([[True], owners[1:] != owners[:-1]])
+                )
+                gowners = owners[starts]
+                mins = np.minimum.reduceat(cand, starts)
+                fin = np.isfinite(mins)  # inf = empty intersection
+                rows_min = qidx[gowners[fin]]
+                out[rows_min] = mins[fin]
+                if want_witness:
+                    # Smallest witness achieving the minimum: witness
+                    # ids ascend inside a slab, so the min over ids at
+                    # the minimum value is the first one.
+                    seg_sizes = np.diff(np.append(starts, cand.size))
+                    at_min = cand == np.repeat(mins, seg_sizes)
+                    wmin = np.minimum.reduceat(
+                        np.where(at_min, vcols, n), starts
+                    )
+                    wit[rows_min] = wmin[fin]
+                # Direct arc v -> u: competes as witness v (the 2-hop
+                # u -> v -> v with d(v, v) = 0).  A value tie leaves the
+                # distance unchanged, so the tie branch only matters
+                # when witnesses are wanted.
+                dmask = vcols == u
+                if dmask.any():
+                    dpos = np.flatnonzero(dmask)
+                    rows_d = qidx[owners[dpos]]
+                    w_d = gvs[owners[dpos]]
+                    dval = vds[dpos]
+                    take = dval < out[rows_d]
+                    if want_witness:
+                        take |= (dval == out[rows_d]) & (w_d < wit[rows_d])
+                    out[rows_d[take]] = dval[take]
+                    wit[rows_d[take]] = w_d[take]
+            # Direct arc u -> v: same witness-v convention (the arc
+            # weight equals the exact distance in either direction).
+            aval = dense[gvs]
+            afin = np.isfinite(aval)
+            if afin.any():
+                rows_a = qidx[afin]
+                w_a = gvs[afin]
+                av = aval[afin]
+                take = av < out[rows_a]
+                if want_witness:
+                    take |= (av == out[rows_a]) & (w_a < wit[rows_a])
+                out[rows_a[take]] = av[take]
+                wit[rows_a[take]] = w_a[take]
+            dense[ucols] = np.inf  # reset only the touched entries
+        # Identical endpoints: distance 0, witness the vertex itself.
+        same = us == vs
+        out[same] = 0.0
+        wit[same] = us[same]
+        wit[~np.isfinite(out)] = -1
+        wit[wit == n] = -1
+        return out, wit
+
+    def _embedded_graph(self):
+        if self._graph is None:
+            g = self.artifact.graph()
+            if g is None:
+                raise ArtifactError(
+                    "path queries need an artifact built with "
+                    "include_graph=True (this one has no embedded graph)"
+                )
+            self._graph = g
+        return self._graph
+
+    def _bunch_path_oracle(self, g: Graph):
+        if self._path_oracle is None:
+            from ..apsp.paths import EmulatorPathOracle
+
+            star = WeightedGraph(self.n)
+            star.add_edges_arrays(
+                self.artifact.arrays["bunch_srcs"],
+                self.artifact.arrays["bunch_dsts"],
+                self.artifact.arrays["bunch_ds"],
+            )
+            self._path_oracle = EmulatorPathOracle(g, star)
+        return self._path_oracle
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+def _directed_csr(
+    n: int, srcs: np.ndarray, dsts: np.ndarray, ds: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Weighted CSR over the directed bunch relation, columns sorted per
+    row (what the key-space intersection relies on).  The artifact arrays
+    are already in canonical ``(src, dst)`` order; the lexsort makes the
+    invariant independent of who produced them."""
+    srcs = np.asarray(srcs, dtype=np.int64)
+    cols = np.asarray(dsts, dtype=np.int64)
+    vals = np.asarray(ds, dtype=np.float64)
+    order = np.lexsort((cols, srcs))
+    srcs, cols, vals = srcs[order], cols[order], vals[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(srcs, minlength=n), out=indptr[1:])
+    return indptr, cols, vals
+
+
+def _flat_slabs(
+    indptr: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated CSR positions of ``rows`` plus the owning query index
+    per position (the :func:`repro.kernels.csr._slab_positions` idiom)."""
+    from ..kernels.csr import _slab_positions
+
+    positions, counts = _slab_positions(indptr, rows)
+    owners = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+    return positions, owners
+
+
+def _bfs_path(g: Graph, u: int, v: int) -> Optional[List[int]]:
+    """Exact shortest ``u``–``v`` path by parent-array BFS."""
+    parent = np.full(g.n, -1, dtype=np.int64)
+    parent[u] = u
+    frontier = [u]
+    while frontier:
+        nxt: List[int] = []
+        for x in frontier:
+            for y in g.neighbors(x):
+                y = int(y)
+                if parent[y] < 0:
+                    parent[y] = x
+                    if y == v:
+                        path = [v]
+                        while path[-1] != u:
+                            path.append(int(parent[path[-1]]))
+                        path.reverse()
+                        return path
+                    nxt.append(y)
+        frontier = nxt
+    return None

@@ -1,0 +1,215 @@
+"""The service front end: JSON request semantics + a stdlib HTTP server.
+
+:class:`OracleService` is transport-agnostic — ``handle(request_dict)``
+returns ``(status, response_dict)`` — so the same semantics back the CLI
+(``repro query``), tests, and the HTTP endpoint (``repro serve``).  The
+HTTP layer is a ``http.server.ThreadingHTTPServer`` (no new
+dependencies): ``POST /query`` with a JSON body, ``GET /info`` and
+``GET /healthz``.  Requests batch naturally: a ``pairs`` list (or
+parallel ``us`` / ``vs`` arrays) is answered by one vectorized engine
+pass.
+
+JSON has no ``Infinity``, so unreachable distances serialize as
+``null``; the response's ``unreachable`` count makes that explicit.
+Errors are graceful: malformed JSON, unknown ops, out-of-range vertices
+and stale/mismatched artifacts all produce a ``4xx``/``409`` with an
+``"error"`` message instead of a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .artifact import ArtifactError, ArtifactMismatch
+from .engine import DistanceOracle
+
+__all__ = ["OracleService", "OracleHTTPServer", "make_server", "serve"]
+
+
+def _clean(value: float) -> Optional[float]:
+    """JSON-safe distance: ``inf`` (unreachable) becomes ``null``."""
+    return float(value) if np.isfinite(value) else None
+
+
+class OracleService:
+    """JSON request/response semantics over a :class:`DistanceOracle`."""
+
+    def __init__(self, oracle: DistanceOracle):
+        self.oracle = oracle
+
+    # ------------------------------------------------------------------
+    def handle(self, request: object) -> Tuple[int, Dict[str, object]]:
+        """Answer one request dict; returns ``(status, response)``.
+
+        Ops: ``distance`` (default; single ``u``/``v``, parallel
+        ``us``/``vs`` arrays, or a ``pairs`` list), ``certificate``,
+        ``path``, ``info``.
+        """
+        if not isinstance(request, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        op = request.get("op", "distance")
+        try:
+            if op == "distance":
+                return self._distance(request)
+            if op == "certificate":
+                return self._certificate(request)
+            if op == "path":
+                return self._path(request)
+            if op == "info":
+                return 200, self.info()
+            return 400, {
+                "error": f"unknown op {op!r}; expected one of "
+                "'distance', 'certificate', 'path', 'info'"
+            }
+        except ArtifactMismatch as exc:
+            return 409, {"error": str(exc)}
+        except (ArtifactError, IndexError, ValueError, TypeError) as exc:
+            return 400, {"error": str(exc)}
+
+    def info(self) -> Dict[str, object]:
+        """Manifest plus live serving counters."""
+        return {
+            "manifest": dict(self.oracle.artifact.manifest),
+            "stats": self.oracle.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    def _batch_indices(self, request):
+        """Extract (us, vs) from ``pairs`` or ``us``/``vs``; None for a
+        single-query request."""
+        if "pairs" in request:
+            pairs = np.asarray(request["pairs"], dtype=np.int64)
+            if pairs.ndim != 2 or pairs.shape[1] != 2:
+                raise ValueError("'pairs' must be a list of [u, v] pairs")
+            return pairs[:, 0], pairs[:, 1]
+        if "us" in request or "vs" in request:
+            us = np.asarray(request.get("us", ()), dtype=np.int64)
+            vs = np.asarray(request.get("vs", ()), dtype=np.int64)
+            if us.shape != vs.shape:
+                raise ValueError("'us' and 'vs' must have the same length")
+            return us, vs
+        return None
+
+    def _single_indices(self, request) -> Tuple[int, int]:
+        if "u" not in request or "v" not in request:
+            raise ValueError("query needs 'u' and 'v' (or 'pairs'/'us'+'vs')")
+        return int(request["u"]), int(request["v"])
+
+    def _distance(self, request):
+        batch = self._batch_indices(request)
+        if batch is not None:
+            us, vs = batch
+            values = self.oracle.query_batch(us, vs)
+            return 200, {
+                "distances": [_clean(x) for x in values],
+                "count": int(values.size),
+                "unreachable": int(np.sum(~np.isfinite(values))),
+            }
+        u, v = self._single_indices(request)
+        return 200, {"u": u, "v": v, "distance": _clean(self.oracle.query(u, v))}
+
+    def _certificate(self, request):
+        u, v = self._single_indices(request)
+        cert = self.oracle.certificate(u, v)
+        return 200, {
+            "u": cert.u,
+            "v": cert.v,
+            "estimate": _clean(cert.estimate),
+            "multiplicative": cert.multiplicative,
+            "additive": cert.additive,
+            "lower_bound": _clean(cert.lower_bound),
+            "upper_bound": _clean(cert.upper_bound),
+            "witness": cert.witness,
+        }
+
+    def _path(self, request):
+        u, v = self._single_indices(request)
+        path = self.oracle.path(u, v)
+        return 200, {
+            "u": u,
+            "v": v,
+            "path": path,
+            "hops": (len(path) - 1) if path is not None else None,
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP front end (stdlib only)
+# ----------------------------------------------------------------------
+
+class OracleHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server carrying the :class:`OracleService`."""
+
+    daemon_threads = True
+    service: OracleService
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: OracleHTTPServer
+
+    def _respond(self, status: int, body: Dict[str, object]) -> None:
+        payload = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            self._respond(200, {"ok": True})
+        elif self.path == "/info":
+            self._respond(200, self.server.service.info())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/query":
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._respond(400, {"error": f"malformed JSON request: {exc}"})
+            return
+        status, body = self.server.service.handle(request)
+        self._respond(status, body)
+
+    def log_message(self, fmt, *args) -> None:  # quiet by default
+        pass
+
+
+def make_server(
+    oracle: DistanceOracle, host: str = "127.0.0.1", port: int = 0
+) -> OracleHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a free
+    port (``server.server_address`` reports the bound one)."""
+    server = OracleHTTPServer((host, port), _Handler)
+    server.service = OracleService(oracle)
+    return server
+
+
+def serve(
+    artifact_path: str, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Load an artifact and serve it forever (the ``repro serve`` body)."""
+    oracle = DistanceOracle.load(artifact_path)
+    server = make_server(oracle, host=host, port=port)
+    bound_host, bound_port = server.server_address[:2]
+    manifest = oracle.artifact.manifest
+    print(
+        f"serving {manifest['variant']} oracle (n={oracle.n}, "
+        f"kind={oracle.kind}) on http://{bound_host}:{bound_port} — "
+        "POST /query, GET /info, GET /healthz"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

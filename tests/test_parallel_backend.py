@@ -317,6 +317,86 @@ class TestParallelFidelity:
 
 
 # ----------------------------------------------------------------------
+# The persistent shard pool (ISSUE 4: amortize fork cost across calls)
+# ----------------------------------------------------------------------
+
+class TestPersistentPool:
+    @pytest.fixture(autouse=True)
+    def fresh_pool(self):
+        par.shutdown_pool()
+        yield
+        par.shutdown_pool()
+
+    def test_pool_persists_across_kernel_calls(self, rng, clean_env, forced_pool):
+        s = random_minplus_matrix(rng, 30, 20, 0.3)
+        t = random_minplus_matrix(rng, 20, 25, 0.3)
+        par.minplus_parallel(s, t)
+        assert par.pool_active()
+        first = par._POOL
+        par.minplus_parallel(s, t)  # second call reuses the same workers
+        assert par._POOL is first
+        dist = np.full((8, 30), np.inf)
+        dist[np.arange(8), np.arange(8)] = 0.0
+        par.relax_parallel(
+            dist, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 2.0]), 3
+        )
+        assert par._POOL is first  # shared across kernel kinds too
+
+    def test_shutdown_is_idempotent_and_restarts(self, rng, clean_env, forced_pool):
+        s = random_minplus_matrix(rng, 24, 24, 0.3)
+        want = ref.minplus_reference(s, s)
+        assert exact_equal(par.minplus_parallel(s, s), want)
+        assert par.pool_active()
+        par.shutdown_pool()
+        par.shutdown_pool()  # idempotent
+        assert not par.pool_active()
+        assert exact_equal(par.minplus_parallel(s, s), want)  # fresh pool
+        assert par.pool_active()
+
+    def test_worker_count_change_rebuilds_pool(
+        self, rng, clean_env, forced_pool, monkeypatch
+    ):
+        s = random_minplus_matrix(rng, 24, 24, 0.3)
+        par.minplus_parallel(s, s)
+        first = par._POOL
+        monkeypatch.setenv(par.ENV_WORKERS_VAR, "3")
+        assert exact_equal(
+            par.minplus_parallel(s, s), ref.minplus_reference(s, s)
+        )
+        assert par._POOL is not first
+        assert par._POOL_WORKERS == 3
+
+    def test_pool_results_bit_identical_across_reuse(
+        self, rng, clean_env, forced_pool
+    ):
+        # The payload travels through fresh shared-memory segments per
+        # call: stale operands must never leak between calls.
+        for _ in range(3):
+            s = random_minplus_matrix(rng, 26, 18, 0.25)
+            t = random_minplus_matrix(rng, 18, 22, 0.25)
+            assert exact_equal(
+                par.minplus_parallel(s, t), ref.minplus_reference(s, t)
+            )
+
+    def test_bfs_waves_on_persistent_pool(self, clean_env, forced_pool):
+        g = gen.make_family("er_sparse", 55, seed=8)
+        sources = np.arange(g.n)
+        for _ in range(2):
+            got = par.bfs_waves_parallel(
+                g.indptr, g.indices, g.n, sources, np.full(g.n, 5.0)
+            )
+            want = ref.batched_bfs_reference(
+                g.indptr, g.indices, g.n, sources, 5
+            )
+            assert exact_equal(got, want)
+        assert par.pool_active()
+
+    def test_exported_from_kernels(self):
+        assert kernels.shutdown_pool is par.shutdown_pool
+        assert kernels.pool_active is par.pool_active
+
+
+# ----------------------------------------------------------------------
 # Sharded BFS block layout (the Fortran-order follow-on)
 # ----------------------------------------------------------------------
 
