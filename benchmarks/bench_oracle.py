@@ -1,17 +1,22 @@
 """E19 — oracle serving throughput: single vs batched queries (DESIGN.md §6).
 
-Builds oracle artifacts (near-additive estimate matrix, Thorup–Zwick
-bunches) at n ∈ {1024, 4096, 10^4}, measures the query engine's
-single-query and batched throughput (queries/sec) on random pairs, and
-asserts the serving contract: an artifact saved to disk and loaded back
-answers the same query batch **bit-identically** to the freshly built
-one.
+The variant list and per-variant sizes come from the **variant
+registry** (`repro.variants`): every spec declares its `bench_sizes`
+(the E19 series it appears in; empty = smoke coverage only), so a newly
+registered variant joins the benchmark — and the `--quick` smoke sweeps
+*every* registered variant at toy sizes — with no edits here.
 
-The matrix variants stop at n = 4096 (an (n, n) float64 snapshot at
-n = 10^4 is an 800 MB artifact — the TZ bunch store, at
-``O(k n^{1+1/k})`` space, is the variant that scales there, and it is
-the only one run at 10^4).  Caching is disabled during timing so the
-numbers measure the engine, not repeat traffic.
+For each (variant, n) the benchmark builds the artifact, measures the
+query engine's single-query and batched throughput (queries/sec) on
+random pairs, and asserts the serving contract: an artifact saved to
+disk and loaded back answers the same query batch **bit-identically**
+to the freshly built one.
+
+The shipped `bench_sizes` stop the matrix variants at n = 4096 (an
+(n, n) float64 snapshot at n = 10^4 is an 800 MB artifact — the TZ
+bunch store, at ``O(k n^{1+1/k})`` space, is the variant that scales
+there).  Caching is disabled during timing so the numbers measure the
+engine, not repeat traffic.
 
 Writes ``benchmarks/results/E19.{txt,json}`` and merges an
 ``oracle_serving`` key into the repo-root ``BENCH_kernels.json``.
@@ -33,44 +38,60 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 sys.path.insert(0, os.path.dirname(__file__))
 
 from conftest import record_experiment  # noqa: E402
-from repro import oracle  # noqa: E402
+from repro import oracle, variants  # noqa: E402
 from repro.analysis import format_table  # noqa: E402
 from repro.graph import generators as gen  # noqa: E402
 
-MATRIX_SIZES = (1024, 4096)
-TZ_SIZES = (1024, 4096, 10_000)
 NUM_SINGLE = 2_000
 NUM_BATCH = 200_000
 ROOT_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
 
 
-def _pairs(n, count, seed=2020):
+def bench_plan(max_n=None):
+    """The (variant, n) series, straight from the registry's declarative
+    ``bench_sizes``."""
+    return [
+        (spec.name, n)
+        for spec in variants.all_variants()
+        for n in spec.bench_sizes
+        if max_n is None or n <= max_n
+    ]
+
+
+def _pairs(spec, artifact, count, seed=2020):
+    """Random query pairs valid for the artifact's kind (sources-kind
+    queries must touch a source)."""
     rng = np.random.default_rng(seed)
-    return (
-        rng.integers(0, n, count).astype(np.int64),
-        rng.integers(0, n, count).astype(np.int64),
-    )
+    n = artifact.n
+    vs = rng.integers(0, n, count).astype(np.int64)
+    if spec.kind == "sources":
+        sources = np.asarray(artifact.arrays["sources"], dtype=np.int64)
+        us = sources[rng.integers(0, sources.size, count)]
+    else:
+        us = rng.integers(0, n, count).astype(np.int64)
+    return us, vs
 
 
 def bench_variant(variant, n, num_single=NUM_SINGLE, num_batch=NUM_BATCH):
     """Build one artifact, time single vs batched serving, assert the
     save/load replay is bit-identical.  Returns the E19 record."""
+    spec = variants.get_variant(variant)
     g = gen.make_family("er_sparse", n, seed=61)
     t0 = time.perf_counter()
     artifact = oracle.build_oracle(
-        g, variant=variant, eps=0.5, rng=np.random.default_rng(7),
+        g, variant=variant, rng=np.random.default_rng(7),
         include_graph=False,
     )
     build_s = time.perf_counter() - t0
 
     engine = oracle.DistanceOracle(artifact, cache_size=0)  # measure, not cache
-    sus, svs = _pairs(n, num_single, seed=5)
+    sus, svs = _pairs(spec, artifact, num_single, seed=5)
     t0 = time.perf_counter()
     for u, v in zip(sus.tolist(), svs.tolist()):
         engine.query(u, v)
     single_s = time.perf_counter() - t0
 
-    bus, bvs = _pairs(n, num_batch, seed=6)
+    bus, bvs = _pairs(spec, artifact, num_batch, seed=6)
     engine.query_batch(bus[:16], bvs[:16])  # touch the structures once
     t0 = time.perf_counter()
     batch_values = engine.query_batch(bus, bvs)
@@ -100,18 +121,13 @@ def bench_variant(variant, n, num_single=NUM_SINGLE, num_batch=NUM_BATCH):
     }
 
 
-def run(
-    matrix_sizes=MATRIX_SIZES,
-    tz_sizes=TZ_SIZES,
-    num_single=NUM_SINGLE,
-    num_batch=NUM_BATCH,
-):
-    results = []
-    for n in matrix_sizes:
-        results.append(bench_variant("near-additive", n, num_single, num_batch))
-    for n in tz_sizes:
-        results.append(bench_variant("tz", n, num_single, num_batch))
-    return results
+def run(plan=None, num_single=NUM_SINGLE, num_batch=NUM_BATCH):
+    if plan is None:
+        plan = bench_plan()
+    return [
+        bench_variant(variant, n, num_single, num_batch)
+        for variant, n in plan
+    ]
 
 
 def _result_table(results):
@@ -161,7 +177,7 @@ def test_oracle_serving_throughput():
     throughput at n = 4096, and every persisted artifact replays its
     query batch bit-identically.  The wall-clock floor is load-sensitive,
     so a miss is retried once with a larger sample before failing."""
-    results = run(matrix_sizes=(1024, 4096), tz_sizes=(1024, 4096))
+    results = run(plan=bench_plan(max_n=4096))
     by = {(r["variant"], r["n"]): r for r in results}
     if by[("near-additive", 4096)]["batch_speedup"] < 10.0:
         retry = bench_variant(
@@ -179,11 +195,14 @@ def test_oracle_serving_throughput():
 
 
 def smoke():
-    """File-free quick pass (CI's crash detector for the serving layer)."""
-    results = run(
-        matrix_sizes=(64, 128), tz_sizes=(64, 128),
-        num_single=200, num_batch=5_000,
-    )
+    """File-free quick pass (CI's crash detector for the serving layer):
+    every registered variant, toy sizes."""
+    plan = [
+        (spec.name, n)
+        for spec in variants.all_variants()
+        for n in (64, 128)
+    ]
+    results = run(plan=plan, num_single=200, num_batch=5_000)
     print(_result_table(results))
     assert all(r["roundtrip_identical"] for r in results)
 

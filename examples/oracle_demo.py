@@ -35,8 +35,10 @@ print(f"workload: er_sparse n={g.n} m={g.m}, {NUM_QUERIES} random queries\n")
 
 with tempfile.TemporaryDirectory() as tmp:
     for variant in ("near-additive", "tz"):
+        # Parameters come from the variant's registered schema defaults
+        # (eps = 0.5 for near-additive; tz takes only r).
         artifact = oracle.build_oracle(
-            g, variant=variant, eps=0.5, rng=np.random.default_rng(1)
+            g, variant=variant, rng=np.random.default_rng(1)
         )
         path = os.path.join(tmp, variant)
         oracle.save_artifact(artifact, path)

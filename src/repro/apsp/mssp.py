@@ -26,6 +26,7 @@ from ..graph.distances import weighted_all_pairs
 from ..graph.graph import Graph
 from ..toolkit.hopsets import build_bounded_hopset
 from ..toolkit.source_detection import source_detection
+from ..variants import emulator_construction
 from .near_additive import build_emulator_variant, emulator_guarantee
 from .result import DistanceResult
 
@@ -77,7 +78,7 @@ def mssp(
     # Emulator with multiplicative term a = eps/2: the ideal build achieves
     # a = eps_target, the clique builds a = 4 eps_target (Appendix C.3), so
     # the target is chosen per variant.
-    eps_emu = eps / 2.0 if variant == "ideal" else eps / 8.0
+    eps_emu = eps * emulator_construction(variant).eps_scale
     emu = build_emulator_variant(g, eps_emu, r, variant, rng, ledger)
     ledger.charge(learn_subgraph_rounds(emu.emulator.m, g.n), "mssp:learn-emulator")
     est_emulator = weighted_all_pairs(emu.emulator, sources=sources)
@@ -92,7 +93,7 @@ def mssp(
         eps=eps,
         t=t,
         rng=rng if rng is not None else np.random.default_rng(0),
-        deterministic=(variant == "deterministic"),
+        deterministic=emulator_construction(variant).deterministic,
         ledger=ledger,
     )
     union = hop.union_with(g)

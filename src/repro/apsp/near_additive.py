@@ -23,23 +23,58 @@ from ..emulator.params import EmulatorParams
 from ..emulator.whp import build_emulator_whp
 from ..graph.distances import weighted_all_pairs
 from ..graph.graph import Graph
+from ..variants import EmulatorConstruction, emulator_construction, register_emulator_construction
 from .result import DistanceResult
 
 __all__ = ["apsp_near_additive", "build_emulator_variant", "emulator_guarantee"]
 
-_VARIANTS = ("ideal", "cc", "whp", "deterministic")
+
+def _ideal_guarantee(params) -> tuple[float, float]:
+    # Lemma 23: (1 + 20 eps r, beta) — with target-rescaling,
+    # (1 + eps_target, beta).
+    return params.multiplicative, params.beta
+
+
+def _clique_guarantee(params) -> tuple[float, float]:
+    # Appendix C.3 pays a factor 4: (1 + 80 eps r, 2 beta), i.e.
+    # (1 + 4 eps_target, 2 beta).
+    return 1.0 + 80.0 * params.eps * params.r, 2.0 * params.beta
+
+
+# The second variant axis: the four Section 3 / Section 5 emulator
+# constructions, declared once for every consumer (near-additive, 2+eps,
+# 3+eps, MSSP all dispatch through the registry).
+register_emulator_construction(EmulatorConstruction(
+    name="ideal",
+    build=lambda g, eps, r, rng, ledger: build_emulator(g, eps=eps, r=r, rng=rng),
+    guarantee=_ideal_guarantee,
+    eps_scale=0.5,
+))
+register_emulator_construction(EmulatorConstruction(
+    name="cc",
+    build=lambda g, eps, r, rng, ledger: build_emulator_cc(
+        g, eps=eps, r=r, rng=rng, ledger=ledger),
+    guarantee=_clique_guarantee,
+))
+register_emulator_construction(EmulatorConstruction(
+    name="whp",
+    build=lambda g, eps, r, rng, ledger: build_emulator_whp(
+        g, eps=eps, r=r, rng=rng, ledger=ledger),
+    guarantee=_clique_guarantee,
+))
+register_emulator_construction(EmulatorConstruction(
+    name="deterministic",
+    build=lambda g, eps, r, rng, ledger: build_emulator_deterministic(
+        g, eps=eps, r=r, ledger=ledger),
+    guarantee=_clique_guarantee,
+    deterministic=True,
+))
 
 
 def emulator_guarantee(result, variant: str) -> tuple[float, float]:
     """The proven ``(multiplicative, additive)`` stretch of an emulator
-    result.  The ideal build satisfies Lemma 23's ``(1 + 20 eps r, beta)``
-    — with target-rescaling that is ``(1 + eps_target, beta)``.  The clique
-    builds pay Appendix C.3's factor: ``(1 + 80 eps r, 2 beta)``, i.e.
-    ``(1 + 4 eps_target, 2 beta)``."""
-    params = result.params
-    if variant == "ideal":
-        return params.multiplicative, params.beta
-    return 1.0 + 80.0 * params.eps * params.r, 2.0 * params.beta
+    result, from the construction's registered guarantee formula."""
+    return emulator_construction(variant).guarantee(result.params)
 
 
 def build_emulator_variant(
@@ -50,16 +85,8 @@ def build_emulator_variant(
     rng: Optional[np.random.Generator],
     ledger: RoundLedger,
 ):
-    """Dispatch to one of the four emulator constructions."""
-    if variant == "ideal":
-        return build_emulator(g, eps=eps, r=r, rng=rng)
-    if variant == "cc":
-        return build_emulator_cc(g, eps=eps, r=r, rng=rng, ledger=ledger)
-    if variant == "whp":
-        return build_emulator_whp(g, eps=eps, r=r, rng=rng, ledger=ledger)
-    if variant == "deterministic":
-        return build_emulator_deterministic(g, eps=eps, r=r, ledger=ledger)
-    raise ValueError(f"unknown variant {variant!r}; known: {_VARIANTS}")
+    """Dispatch to a registered emulator construction."""
+    return emulator_construction(variant).build(g, eps, r, rng, ledger)
 
 
 def apsp_near_additive(

@@ -28,6 +28,7 @@ from ..toolkit.hopsets import build_bounded_hopset
 from ..toolkit.nearest import kd_nearest_bfs
 from ..toolkit.source_detection import source_detection
 from ..toolkit.through_sets import distance_through_sets
+from ..variants import emulator_construction
 from .near_additive import build_emulator_variant, emulator_guarantee
 from .result import DistanceResult
 
@@ -54,7 +55,7 @@ def apsp_three_plus_eps(
     n = g.n
 
     # Long distances: emulator with multiplicative term <= eps/2.
-    eps_emu = eps / 2.0 if variant == "ideal" else eps / 8.0
+    eps_emu = eps * emulator_construction(variant).eps_scale
     emu = build_emulator_variant(g, eps_emu, r, variant, rng, ledger)
     ledger.charge(learn_subgraph_rounds(emu.emulator.m, n), "apsp3:learn-emulator")
     delta = weighted_all_pairs(emu.emulator)

@@ -12,6 +12,16 @@ Examples::
     python -m repro build-oracle --family grid --n 400 --out /tmp/oracle
     python -m repro query --artifact /tmp/oracle --u 0 --v 399 --cert
     python -m repro serve --artifact /tmp/oracle --port 8080
+    # multi-artifact serving: one process, per-artifact routes
+    python -m repro serve --artifact tz=/tmp/tz --artifact na=/tmp/na
+
+Algorithm and oracle variants — their ``--algo`` / ``--variant``
+choices, parameter schemas, and dispatch — come from the declarative
+variant registry (:mod:`repro.variants`); a newly registered variant is
+reachable here with no CLI change.  Parameters are validated against
+the variant's schema: an out-of-range ``--eps`` / ``--r`` (or one the
+variant does not take) fails loudly naming the valid range instead of
+being silently ignored.
 
 The one-shot commands print the measured quality against the exact
 distances and the round-ledger summary.  ``--backend`` pins the kernel
@@ -30,18 +40,7 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import evaluate_stretch, format_table
-from .apsp import (
-    apsp_near_additive,
-    apsp_squaring,
-    apsp_three_plus_eps,
-    apsp_two_plus_eps,
-    apsp_weighted,
-    exact_apsp,
-    mssp,
-    mssp_weighted,
-    spanner_apsp,
-)
-from . import kernels, oracle
+from . import kernels, oracle, variants
 from .emulator import build_emulator_cc
 from .derand import build_emulator_deterministic
 from .graph import WeightedGraph, generators
@@ -49,14 +48,17 @@ from .graph.distances import all_pairs_distances, weighted_all_pairs
 
 __all__ = ["main", "build_parser"]
 
-_APSP_ALGOS = {
-    "near-additive": lambda g, eps, r, rng: apsp_near_additive(g, eps=eps, r=r, rng=rng),
-    "2eps": lambda g, eps, r, rng: apsp_two_plus_eps(g, eps=eps, r=r, rng=rng),
-    "3eps": lambda g, eps, r, rng: apsp_three_plus_eps(g, eps=eps, r=r, rng=rng),
-    "exact": lambda g, eps, r, rng: exact_apsp(g),
-    "squaring": lambda g, eps, r, rng: apsp_squaring(g),
-    "spanner": lambda g, eps, r, rng: spanner_apsp(g, rng=rng),
-}
+
+def _variant_epilog(specs) -> str:
+    """Help-text table derived from the registry."""
+    lines = ["variants (from the registry):"]
+    for spec in specs:
+        lines.append(f"  {spec.name:<14} {spec.summary}")
+        lines.append(
+            f"  {'':<14} guarantee: {spec.guarantee}; "
+            f"params: {spec.describe_params()}"
+        )
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,8 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--family", default="er_sparse", choices=generators.FAMILIES)
         p.add_argument("--n", type=int, default=120)
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--eps", type=float, default=0.5)
-        p.add_argument("--r", type=int, default=2)
+        p.add_argument(
+            "--eps", type=float, default=None,
+            help="target stretch parameter (default: the variant's; "
+                 "validated against the variant's schema)",
+        )
+        p.add_argument(
+            "--r", type=int, default=None,
+            help="hierarchy levels (default: the variant's; validated)",
+        )
         p.add_argument(
             "--max-weight", type=int, default=1,
             help="random integer edge weights in [1, W] via subdivision "
@@ -90,9 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--deterministic", action="store_true", help="Section 5.1 construction"
     )
 
-    p_apsp = sub.add_parser("apsp", help="run an APSP algorithm")
+    algo_specs = variants.cli_algo_variants()
+    p_apsp = sub.add_parser(
+        "apsp", help="run an APSP algorithm",
+        epilog=_variant_epilog(algo_specs),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     common(p_apsp)
-    p_apsp.add_argument("--algo", default="2eps", choices=sorted(_APSP_ALGOS))
+    p_apsp.add_argument(
+        "--algo", default=None, choices=[s.name for s in algo_specs],
+        help="APSP variant (default: 2eps; near-additive when "
+             "--max-weight > 1)",
+    )
 
     p_mssp = sub.add_parser("mssp", help="run (1+eps)-MSSP")
     common(p_mssp)
@@ -109,15 +127,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="kernel backend for the whole run",
         )
 
+    def mmap_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--mmap", action="store_true",
+            help="memory-map matrix estimates instead of loading them "
+                 "resident (format-2 artifacts; answers are identical)",
+        )
+
     p_build = sub.add_parser(
         "build-oracle",
         help="preprocess a workload into an on-disk oracle artifact",
+        epilog=_variant_epilog(variants.all_variants()),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     common(p_build)
     p_build.add_argument(
-        "--variant", default="near-additive", choices=sorted(oracle.VARIANTS),
-        help="preprocessing to snapshot (matrix variants store the full "
-             "estimate matrix; 'tz' stores Thorup-Zwick bunches)",
+        "--variant", default="near-additive",
+        choices=list(variants.artifact_variant_names()),
+        help="preprocessing to snapshot (see the variant table below)",
     )
     p_build.add_argument(
         "--out", required=True, help="artifact directory to write"
@@ -145,14 +172,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--path", action="store_true", dest="want_path",
         help="also reconstruct a concrete G-path",
     )
+    mmap_flag(p_query)
     backend_flag(p_query)
 
     p_serve = sub.add_parser(
-        "serve", help="serve an artifact over HTTP (JSON; stdlib only)"
+        "serve", help="serve artifacts over HTTP (JSON; stdlib only)"
     )
-    p_serve.add_argument("--artifact", required=True)
+    p_serve.add_argument(
+        "--artifact", required=True, action="append",
+        help="artifact directory, or NAME=PATH to mount it under a "
+             "route name; repeat the flag to serve several artifacts "
+             "from one process (POST /query/<name>)",
+    )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
+    mmap_flag(p_serve)
     backend_flag(p_serve)
     return parser
 
@@ -186,15 +220,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "build-oracle":
         try:
             return _main_build_oracle(args, g, rng)
-        except oracle.ArtifactError as exc:
+        except (oracle.ArtifactError, variants.VariantError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
     if args.command == "emulator":
+        eps = 0.5 if args.eps is None else args.eps
+        r = 2 if args.r is None else args.r
         if args.deterministic:
-            res = build_emulator_deterministic(g, eps=args.eps, r=args.r)
+            res = build_emulator_deterministic(g, eps=eps, r=r)
         else:
-            res = build_emulator_cc(g, eps=args.eps, r=args.r, rng=rng)
+            res = build_emulator_cc(g, eps=eps, r=r, rng=rng)
         print(
             f"emulator: {res.num_edges} edges, beta={res.params.beta:.0f}, "
             f"set sizes {res.stats['set_sizes']}"
@@ -202,6 +238,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(res.ledger.summary())
         return 0
 
+    try:
+        return _main_one_shot(args, g, rng)
+    except variants.VariantError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main_one_shot(args, g, rng) -> int:
+    """``repro apsp`` / ``repro mssp``: registry-dispatched one-shot run."""
     weighted = getattr(args, "max_weight", 1) > 1
     if weighted:
         wg = _random_weights(g, args.max_weight, rng)
@@ -211,18 +256,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         exact = all_pairs_distances(g)
 
     if args.command == "apsp":
-        if weighted:
-            res = apsp_weighted(wg, eps=args.eps, r=args.r, rng=rng)
-        else:
-            res = _APSP_ALGOS[args.algo](g, args.eps, args.r, rng)
+        algo = args.algo or ("near-additive" if weighted else "2eps")
+        spec = variants.get_variant(algo)
+        spec.check_graph_support(weighted)
+        params = spec.resolve_params({"eps": args.eps, "r": args.r}, n=g.n)
+        res = spec.run(wg if weighted else g, rng=rng, **params)
         rep = evaluate_stretch(res.estimates, exact, additive=res.additive)
     else:  # mssp
+        spec = variants.get_variant("mssp")
+        params = spec.resolve_params({"eps": args.eps, "r": args.r}, n=g.n)
         num_sources = args.num_sources or max(1, int(math.sqrt(g.n)))
         sources = list(range(0, g.n, max(1, g.n // num_sources)))[:num_sources]
-        if weighted:
-            res = mssp_weighted(wg, sources, eps=args.eps, r=args.r, rng=rng)
-        else:
-            res = mssp(g, sources, eps=args.eps, r=args.r, rng=rng)
+        res = spec.run(
+            wg if weighted else g, sources=sources, rng=rng, **params
+        )
         rep = evaluate_stretch(res.estimates, exact[sources])
 
     print(format_table(
@@ -256,6 +303,9 @@ def _main_build_oracle(args, g, rng) -> int:
         f"payload={artifact.nbytes() / 1e6:.2f} MB"
     )
     print(f"guarantee: {m['guarantee']}")
+    if m.get("params"):
+        shown = ", ".join(f"{k}={v:g}" for k, v in m["params"].items())
+        print(f"params: {shown}")
     if rounds is not None:
         print(f"preprocessing rounds charged: {rounds:.2f}")
     print(f"artifact written to {args.out}")
@@ -280,13 +330,36 @@ def _parse_pairs(spec: str):
     return pairs
 
 
+def _parse_artifact_mounts(entries):
+    """``--artifact`` values: ``PATH`` or ``NAME=PATH`` -> (name, path)."""
+    mounts = []
+    for entry in entries:
+        if "=" in entry:
+            name, _, path = entry.partition("=")
+            name, path = name.strip(), path.strip()
+            if not name or not path:
+                raise oracle.ArtifactError(
+                    f"malformed --artifact entry {entry!r}; expected "
+                    "NAME=PATH"
+                )
+            mounts.append((name, path))
+        else:
+            mounts.append((None, entry))
+    return mounts
+
+
 def _main_serving(args) -> int:
-    """``repro query`` / ``repro serve``: answer from a saved artifact."""
+    """``repro query`` / ``repro serve``: answer from saved artifacts."""
     if args.command == "serve":
-        oracle.serve(args.artifact, host=args.host, port=args.port)
+        oracle.serve(
+            _parse_artifact_mounts(args.artifact),
+            host=args.host,
+            port=args.port,
+            mmap=args.mmap,
+        )
         return 0
 
-    engine = oracle.DistanceOracle.load(args.artifact)
+    engine = oracle.DistanceOracle.load(args.artifact, mmap=args.mmap)
     m = engine.artifact.manifest
     print(
         f"artifact: variant={m['variant']} kind={m['kind']} n={m['n']} "

@@ -355,3 +355,59 @@ def _assemble_bunches(n, hierarchy, arcs_s, arcs_d, arcs_w) -> TZBunches:
     return TZBunches(
         star=star, hierarchy=hierarchy, srcs=srcs, dsts=dsts, dists=dists
     )
+
+
+# ----------------------------------------------------------------------
+# Variant registration: the classic TZ bunch oracle as a serving variant
+# ----------------------------------------------------------------------
+
+def _tz_build(g: AnyGraph, rng=None, r=None, **_):
+    """Artifact payload for the ``tz`` variant (bunches kind)."""
+    from ..variants import VariantBuild
+
+    bunches = build_tz_bunches(g, r=r, rng=rng)
+    return VariantBuild(
+        arrays={
+            "bunch_srcs": np.asarray(bunches.srcs, dtype=np.int64),
+            "bunch_dsts": np.asarray(bunches.dsts, dtype=np.int64),
+            "bunch_ds": np.asarray(bunches.dists, dtype=np.float64),
+            "tz_levels": np.asarray(bunches.hierarchy.levels, dtype=np.int64),
+        },
+        name=f"TZ-bunches[k={bunches.k}]",
+        multiplicative=float(bunches.stretch),
+        additive=0.0,
+        stats={
+            "bunch_edges": int(bunches.num_edges),
+            "k": int(bunches.k),
+            "set_sizes": bunches.hierarchy.sizes(),
+        },
+    )
+
+
+def _register() -> None:
+    from ..emulator.params import EmulatorParams
+    from ..variants import ParamSpec, VariantSpec, register_variant
+
+    register_variant(VariantSpec(
+        name="tz",
+        kind="bunches",
+        summary="classic Thorup-Zwick pivot/bunch oracle (Appendix A; "
+                "O(k n^{1+1/k}) space, 2-hop combine at query time)",
+        guarantee="d <= est <= (2k - 1) * d  for k = r + 1",
+        build=_tz_build,
+        stretch=lambda n, r=None, **_: (
+            2.0 * ((r if r is not None else EmulatorParams.default_r(n)) + 1)
+            - 1.0,
+            0.0,
+        ),
+        params=(ParamSpec(
+            name="r", type=int, default=EmulatorParams.default_r, lo=1,
+            doc="hierarchy levels; k = r + 1 bunch levels",
+        ),),
+        weighted=True,
+        phases=(),
+        bench_sizes=(1024, 4096, 10_000),
+    ))
+
+
+_register()

@@ -7,16 +7,19 @@ bunches, Appendix A) into a persistent *artifact* behind a query front
 end, the preprocess/query split production distance services amortize:
 
 * :mod:`repro.oracle.artifact` — versioned on-disk snapshots (npz +
-  JSON manifest: variant, stretch guarantee, round-ledger totals, graph
-  hash) with :func:`save_artifact` / :func:`load_artifact` round-tripping
-  any supported preprocessing;
+  mmap-able ``estimates.npy`` + JSON manifest: variant, schema-validated
+  parameter echo, stretch guarantee, round-ledger totals, graph hash)
+  with :func:`save_artifact` / :func:`load_artifact` round-tripping any
+  variant registered in :mod:`repro.variants`;
 * :mod:`repro.oracle.engine` — :class:`DistanceOracle`: vectorized
   batched distance / path queries answered from the artifact through the
   kernel layer, with an LRU result cache and per-query stretch
   certificates;
 * :mod:`repro.oracle.service` — :class:`OracleService` (JSON
-  request/response semantics) and a stdlib ``ThreadingHTTPServer`` front
-  end (``repro serve``), no new dependencies.
+  request/response semantics), :class:`OracleRouter` (many named
+  artifacts served from one process with per-artifact routing and a
+  merged ``/info``), and a stdlib ``ThreadingHTTPServer`` front end
+  (``repro serve --artifact NAME=PATH ...``), no new dependencies.
 
 DESIGN.md §6 documents the artifact format, query semantics, and cache
 policy; benchmark E19 (``benchmarks/bench_oracle.py``) records the
@@ -27,16 +30,25 @@ from .artifact import (
     ArtifactError,
     ArtifactMismatch,
     FORMAT_VERSION,
-    MATRIX_VARIANTS,
     OracleArtifact,
-    VARIANTS,
     build_oracle,
     graph_fingerprint,
     load_artifact,
     save_artifact,
 )
 from .engine import DistanceOracle, QueryCertificate
-from .service import OracleService, make_server, serve
+from .service import OracleRouter, OracleService, make_server, serve
+
+
+def __getattr__(name: str):
+    # VARIANTS / MATRIX_VARIANTS are registry-derived back-compat
+    # aliases; delegate lazily so late-registered variants appear and
+    # importing the package does not drag every algorithm module in.
+    if name in ("VARIANTS", "MATRIX_VARIANTS"):
+        from . import artifact
+
+        return getattr(artifact, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ArtifactError",
@@ -45,6 +57,7 @@ __all__ = [
     "FORMAT_VERSION",
     "MATRIX_VARIANTS",
     "OracleArtifact",
+    "OracleRouter",
     "OracleService",
     "QueryCertificate",
     "VARIANTS",

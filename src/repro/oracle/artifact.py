@@ -1,28 +1,39 @@
 """Versioned on-disk oracle artifacts (the preprocess side of serving).
 
-An artifact is a directory with two files:
+An artifact is a directory with up to three files:
 
 * ``manifest.json`` — provenance and guarantees: format version,
-  variant, ``eps`` / ``r``, the proven ``(multiplicative, additive)``
-  stretch, round-ledger totals and breakdown, the SHA-256 fingerprint of
-  the preprocessed graph, and the artifact *kind*;
+  variant, the resolved parameter echo (``params``, validated against
+  the variant's schema on load), the proven ``(multiplicative,
+  additive)`` stretch, round-ledger totals and breakdown, the SHA-256
+  fingerprint of the preprocessed graph, and the artifact *kind*;
 * ``arrays.npz`` — the numeric payload (compressed, loaded with
-  ``allow_pickle=False``).
+  ``allow_pickle=False``);
+* ``estimates.npy`` (format 2, matrix/sources kinds) — the large
+  ``(rows, n)`` estimate matrix stored *uncompressed* so it can be
+  memory-mapped: ``load_artifact(path, mmap=True)`` opens it with
+  ``mmap_mode="r"`` and an ``n = 10^4`` matrix serves without an 800 MB
+  resident load.
 
-Two kinds exist:
+Which variants exist, what arrays they store, and which parameters they
+accept is **not** decided here: everything dispatches through the
+declarative registry (:mod:`repro.variants`) — ``build_oracle`` looks
+the variant up, validates parameters against its schema, and snapshots
+whatever payload the spec's builder returns.  Three kinds exist today:
 
-* ``"matrix"`` — a full ``(n, n)`` estimate matrix (the near-additive /
-  2+eps / 3+eps / exact APSP variants); queries gather from it.
-* ``"bunches"`` — the classic Thorup–Zwick pivot/bunch relation
-  (:func:`repro.emulator.thorup_zwick.build_tz_bunches`) stored as
-  directed arc arrays, ``O(k n^{1+1/k})`` space; queries run the 2-hop
-  ``B(u) ∩ B(v)`` min-plus combine.
+* ``"matrix"`` — a full ``(n, n)`` estimate matrix; queries gather.
+* ``"bunches"`` — the classic Thorup–Zwick pivot/bunch relation stored
+  as directed arc arrays; queries run the 2-hop ``B(u) ∩ B(v)``
+  min-plus combine.
+* ``"sources"`` — an MSSP snapshot: ``(len(sources), n)`` estimates
+  plus the source array; queries must touch a source endpoint.
 
 The manifest's ``graph_hash`` makes staleness detectable: loading with
-``expected_graph=`` (or serving a query engine built for a different
-graph) fails loudly with :class:`ArtifactMismatch` instead of silently
-answering for the wrong graph.  Newer ``format_version`` values are
-rejected (forward compatibility is explicit, not accidental).
+``expected_graph=`` fails loudly with :class:`ArtifactMismatch` instead
+of silently answering for the wrong graph.  Newer ``format_version``
+values are rejected; version-1 artifacts (everything inside
+``arrays.npz``) keep loading bit-identically — the read-compat shim is
+simply that ``estimates.npy`` is optional on read.
 """
 
 from __future__ import annotations
@@ -35,14 +46,9 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
-from ..apsp import apsp_near_additive, apsp_three_plus_eps, apsp_two_plus_eps
-from ..apsp.baselines import exact_apsp
-from ..apsp.weighted import apsp_weighted
-from ..cliquesim.ledger import RoundLedger
-from ..emulator.params import EmulatorParams
-from ..emulator.thorup_zwick import build_tz_bunches
-from ..graph.distances import weighted_all_pairs
+from .. import variants as variants_registry
 from ..graph.graph import Graph, WeightedGraph
+from ..variants import UnknownVariantError, VariantParamError
 
 __all__ = [
     "ArtifactError",
@@ -50,6 +56,7 @@ __all__ = [
     "FORMAT_VERSION",
     "MANIFEST_NAME",
     "ARRAYS_NAME",
+    "ESTIMATES_NAME",
     "MATRIX_VARIANTS",
     "OracleArtifact",
     "VARIANTS",
@@ -59,15 +66,15 @@ __all__ = [
     "save_artifact",
 ]
 
-FORMAT_VERSION = 1
+#: Format 2 stores matrix/sources estimates as an uncompressed,
+#: mmap-able ``estimates.npy``; format 1 kept every array in the npz.
+FORMAT_VERSION = 2
 MANIFEST_NAME = "manifest.json"
 ARRAYS_NAME = "arrays.npz"
+ESTIMATES_NAME = "estimates.npy"
 
-#: Variants whose artifact stores the full (n, n) estimate matrix.
-MATRIX_VARIANTS = ("2eps", "3eps", "exact", "near-additive")
-
-#: All supported preprocessing variants ("tz" stores TZ bunches).
-VARIANTS = MATRIX_VARIANTS + ("tz",)
+#: The array key that is split out to ``estimates.npy`` on save.
+_MMAP_KEY = "estimates"
 
 AnyGraph = Union[Graph, WeightedGraph]
 
@@ -78,6 +85,23 @@ class ArtifactError(Exception):
 
 class ArtifactMismatch(ArtifactError):
     """An artifact that does not match the graph it is being used for."""
+
+
+def _variant_names() -> tuple:
+    return variants_registry.artifact_variant_names()
+
+
+def __getattr__(name: str):
+    # Back-compat aliases, derived from the registry instead of being a
+    # fourth hand-maintained copy of the variant list.
+    if name == "VARIANTS":
+        return _variant_names()
+    if name == "MATRIX_VARIANTS":
+        return tuple(
+            s.name for s in variants_registry.all_variants()
+            if s.kind == "matrix"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def graph_fingerprint(g: AnyGraph) -> str:
@@ -113,7 +137,7 @@ class OracleArtifact:
 
     @property
     def kind(self) -> str:
-        """``"matrix"`` or ``"bunches"``."""
+        """``"matrix"``, ``"bunches"``, or ``"sources"``."""
         return str(self.manifest["kind"])
 
     @property
@@ -140,6 +164,11 @@ class OracleArtifact:
     def graph_hash(self) -> str:
         """Fingerprint of the graph the artifact was built from."""
         return str(self.manifest["graph_hash"])
+
+    @property
+    def params(self) -> Dict[str, object]:
+        """The resolved build-parameter echo (empty for v1 manifests)."""
+        return dict(self.manifest.get("params") or {})
 
     def graph(self) -> Optional[AnyGraph]:
         """The embedded source graph, or ``None`` if not included."""
@@ -201,113 +230,83 @@ def _embed_graph(g: AnyGraph, arrays: Dict[str, np.ndarray]) -> None:
 def build_oracle(
     g: AnyGraph,
     variant: str = "near-additive",
-    eps: float = 0.5,
+    eps: Optional[float] = None,
     r: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     include_graph: bool = True,
+    params: Optional[Dict[str, object]] = None,
+    **extra,
 ) -> OracleArtifact:
-    """Run one preprocessing variant and snapshot it as an artifact.
+    """Run one registered preprocessing variant and snapshot it.
 
-    ``include_graph`` embeds the source graph's edges (needed for path
-    queries and for hash-free re-verification; costs ``O(m)`` space).
-    Weighted graphs support the ``"near-additive"`` (via subdivision),
-    ``"exact"`` and ``"tz"`` variants; the paper's 2+eps / 3+eps
-    pipelines are unweighted-only.
+    The variant's :class:`~repro.variants.VariantSpec` drives
+    everything: parameters (``eps`` / ``r`` keyword shortcuts merge into
+    ``params``) are validated against its schema — unknown names and
+    out-of-range values raise :class:`~repro.variants.VariantParamError`
+    naming the valid range — weighted-graph support is checked against
+    its flag, and the spec's builder produces the payload.  ``**extra``
+    passes structural builder arguments through (e.g. ``sources=`` for
+    the ``mssp`` variant).  ``include_graph`` embeds the source graph's
+    edges (needed for path queries; costs ``O(m)`` space).
     """
-    if variant not in VARIANTS:
+    try:
+        spec = variants_registry.get_variant(variant)
+    except UnknownVariantError:
         raise ArtifactError(
-            f"unknown oracle variant {variant!r}; expected one of {VARIANTS}"
+            f"unknown oracle variant {variant!r}; expected one of "
+            f"{_variant_names()}"
         )
     weighted = isinstance(g, WeightedGraph)
-    if weighted and variant in ("2eps", "3eps"):
-        raise ArtifactError(
-            f"variant {variant!r} is unweighted-only; use 'near-additive' "
-            "(subdivision), 'exact', or 'tz' for weighted graphs"
-        )
+    try:
+        spec.check_graph_support(weighted)
+    except variants_registry.VariantError as exc:
+        # Unsupported graph flavour is a build failure, not a schema
+        # error — keep the documented ArtifactError contract.
+        raise ArtifactError(str(exc))
+
+    merged = dict(params or {})
+    if eps is not None:
+        merged.setdefault("eps", eps)
+    if r is not None:
+        merged.setdefault("r", r)
+    resolved = spec.resolve_params(merged, n=g.n)
     if rng is None:
         rng = np.random.default_rng(0)
-    if r is None:
-        r = EmulatorParams.default_r(g.n)
 
-    arrays: Dict[str, np.ndarray] = {}
     manifest: Dict[str, object] = {
         "format_version": FORMAT_VERSION,
-        "variant": variant,
+        "variant": spec.name,
         "n": int(g.n),
         "graph_m": int(g.m),
         "weighted": weighted,
-        "eps": float(eps),
-        "r": int(r),
         "graph_hash": graph_fingerprint(g),
         "includes_graph": bool(include_graph),
+        "params": _jsonable(resolved),
     }
+    # Top-level echo of each resolved parameter (eps, r, k, ...) so
+    # manifests stay greppable the way v1 manifests were.
+    manifest.update(_jsonable(resolved))
 
-    if variant == "tz":
-        bunches = build_tz_bunches(g, r=r, rng=rng)
-        arrays["bunch_srcs"] = np.asarray(bunches.srcs, dtype=np.int64)
-        arrays["bunch_dsts"] = np.asarray(bunches.dsts, dtype=np.int64)
-        arrays["bunch_ds"] = np.asarray(bunches.dists, dtype=np.float64)
-        arrays["tz_levels"] = np.asarray(
-            bunches.hierarchy.levels, dtype=np.int64
-        )
-        manifest.update(
-            kind="bunches",
-            name=f"TZ-bunches[k={bunches.k}]",
-            multiplicative=float(bunches.stretch),
-            additive=0.0,
-            rounds_total=None,
-            rounds_breakdown=None,
-            stats={
-                "bunch_edges": int(bunches.num_edges),
-                "k": int(bunches.k),
-                "set_sizes": _jsonable(bunches.hierarchy.sizes()),
-            },
-        )
-    else:
-        result = _run_matrix_variant(g, variant, eps, r, rng, weighted)
-        arrays["estimates"] = np.asarray(result.estimates, dtype=np.float64)
-        manifest.update(
-            kind="matrix",
-            name=result.name,
-            multiplicative=float(result.multiplicative),
-            additive=float(result.additive),
-            rounds_total=float(result.ledger.total),
-            rounds_breakdown=_jsonable(result.ledger.breakdown()),
-            stats=_jsonable(result.stats),
-        )
-
+    build = spec.build(g, rng=rng, **resolved, **extra)
+    manifest.update(
+        kind=spec.kind,
+        name=build.name,
+        multiplicative=float(build.multiplicative),
+        additive=float(build.additive),
+        rounds_total=(
+            None if build.rounds_total is None else float(build.rounds_total)
+        ),
+        rounds_breakdown=_jsonable(build.rounds_breakdown),
+        stats=_jsonable(build.stats),
+    )
     manifest["guarantee"] = (
         "d_G(u,v) <= estimate <= "
         f"{manifest['multiplicative']} * d_G(u,v) + {manifest['additive']}"
     )
+    arrays = dict(build.arrays)
     if include_graph:
         _embed_graph(g, arrays)
     return OracleArtifact(manifest=manifest, arrays=arrays)
-
-
-def _run_matrix_variant(g, variant, eps, r, rng, weighted):
-    if weighted:
-        if variant == "near-additive":
-            return apsp_weighted(g, eps=eps, r=r, rng=rng)
-        # variant == "exact": wrap the Dijkstra oracle in a DistanceResult
-        from ..apsp.result import DistanceResult
-
-        ledger = RoundLedger()
-        ledger.charge(max(1.0, g.n ** 0.158), "oracle:exact-weighted-apsp")
-        return DistanceResult(
-            name="exact-APSP[weighted]",
-            estimates=weighted_all_pairs(g),
-            multiplicative=1.0,
-            additive=0.0,
-            ledger=ledger,
-        )
-    if variant == "near-additive":
-        return apsp_near_additive(g, eps=eps, r=r, rng=rng)
-    if variant == "2eps":
-        return apsp_two_plus_eps(g, eps=eps, r=r, rng=rng)
-    if variant == "3eps":
-        return apsp_three_plus_eps(g, eps=eps, r=r, rng=rng)
-    return exact_apsp(g)
 
 
 # ----------------------------------------------------------------------
@@ -327,40 +326,36 @@ _REQUIRED_MANIFEST_KEYS = (
 _KIND_ARRAYS = {
     "matrix": ("estimates",),
     "bunches": ("bunch_srcs", "bunch_dsts", "bunch_ds"),
+    "sources": ("estimates", "sources"),
 }
 
 
 def save_artifact(artifact: OracleArtifact, path: str) -> None:
-    """Write an artifact directory (``manifest.json`` + ``arrays.npz``)."""
-    os.makedirs(path, exist_ok=True)
-    with open(os.path.join(path, MANIFEST_NAME), "w") as fh:
-        json.dump(artifact.manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    np.savez_compressed(os.path.join(path, ARRAYS_NAME), **artifact.arrays)
+    """Write an artifact directory in the current format.
 
-
-def load_artifact(
-    path: str, expected_graph: Optional[AnyGraph] = None
-) -> OracleArtifact:
-    """Read an artifact directory back, validating version, completeness
-    and (optionally) the graph fingerprint.
-
-    Raises :class:`ArtifactError` on missing/malformed files or a newer
-    format version, :class:`ArtifactMismatch` when ``expected_graph``
-    does not hash to the manifest's ``graph_hash``.
+    ``manifest.json`` + ``arrays.npz``, with matrix/sources estimate
+    payloads split out to an uncompressed ``estimates.npy`` so they can
+    be memory-mapped on load.  The written manifest is normalized to
+    :data:`FORMAT_VERSION` (re-saving a version-1 artifact upgrades it);
+    the in-memory ``artifact`` is not mutated.
     """
-    manifest_path = os.path.join(path, MANIFEST_NAME)
-    arrays_path = os.path.join(path, ARRAYS_NAME)
-    if not os.path.isfile(manifest_path) or not os.path.isfile(arrays_path):
-        raise ArtifactError(
-            f"{path!r} is not an oracle artifact (expected "
-            f"{MANIFEST_NAME} and {ARRAYS_NAME})"
+    os.makedirs(path, exist_ok=True)
+    manifest = dict(artifact.manifest)
+    manifest["format_version"] = FORMAT_VERSION
+    with open(os.path.join(path, MANIFEST_NAME), "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    arrays = dict(artifact.arrays)
+    estimates = arrays.pop(_MMAP_KEY, None)
+    if estimates is not None:
+        np.save(
+            os.path.join(path, ESTIMATES_NAME),
+            np.ascontiguousarray(estimates, dtype=np.float64),
         )
-    try:
-        with open(manifest_path) as fh:
-            manifest = json.load(fh)
-    except json.JSONDecodeError as exc:
-        raise ArtifactError(f"unreadable manifest in {path!r}: {exc}")
+    np.savez_compressed(os.path.join(path, ARRAYS_NAME), **arrays)
+
+
+def _validate_manifest(manifest: Dict[str, object], path: str) -> None:
     for key in _REQUIRED_MANIFEST_KEYS:
         if key not in manifest:
             raise ArtifactError(f"manifest in {path!r} is missing {key!r}")
@@ -385,11 +380,73 @@ def load_artifact(
                 f"manifest in {path!r} has a non-numeric {key!r}: "
                 f"{manifest[key]!r}"
             )
+    params = manifest.get("params")
+    if params is not None and not isinstance(params, dict):
+        raise ArtifactError(
+            f"manifest in {path!r} has a non-object 'params' echo: "
+            f"{params!r}"
+        )
+    if isinstance(params, dict):
+        # Validate the parameter echo against the variant's schema when
+        # the variant is registered (unknown variants still load: the
+        # kind drives the engine, the variant name is provenance).
+        try:
+            spec = variants_registry.get_variant(str(manifest["variant"]))
+        except UnknownVariantError:
+            spec = None
+        if spec is not None:
+            try:
+                spec.resolve_params(params, n=int(manifest["n"]))
+            except VariantParamError as exc:
+                raise ArtifactError(
+                    f"manifest in {path!r} fails the variant's parameter "
+                    f"schema: {exc}"
+                )
+
+
+def load_artifact(
+    path: str,
+    expected_graph: Optional[AnyGraph] = None,
+    mmap: bool = False,
+) -> OracleArtifact:
+    """Read an artifact directory back, validating version, completeness,
+    the parameter echo, and (optionally) the graph fingerprint.
+
+    ``mmap=True`` opens a format-2 ``estimates.npy`` with
+    ``mmap_mode="r"`` — queries gather straight from the page cache and
+    a large matrix artifact serves without loading the full payload
+    resident.  Version-1 artifacts (estimates inside the compressed
+    npz) cannot be mapped and fall back to a full load.
+
+    Raises :class:`ArtifactError` on missing/malformed files, a newer
+    format version, or a parameter echo outside the variant's schema;
+    :class:`ArtifactMismatch` when ``expected_graph`` does not hash to
+    the manifest's ``graph_hash``.
+    """
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    arrays_path = os.path.join(path, ARRAYS_NAME)
+    if not os.path.isfile(manifest_path) or not os.path.isfile(arrays_path):
+        raise ArtifactError(
+            f"{path!r} is not an oracle artifact (expected "
+            f"{MANIFEST_NAME} and {ARRAYS_NAME})"
+        )
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"unreadable manifest in {path!r}: {exc}")
+    _validate_manifest(manifest, path)
     kind = str(manifest["kind"])
     if kind not in _KIND_ARRAYS:
         raise ArtifactError(f"unknown artifact kind {kind!r} in {path!r}")
     with np.load(arrays_path, allow_pickle=False) as data:
         arrays = {key: data[key] for key in data.files}
+    estimates_path = os.path.join(path, ESTIMATES_NAME)
+    if os.path.isfile(estimates_path):
+        arrays[_MMAP_KEY] = np.load(
+            estimates_path, mmap_mode="r" if mmap else None,
+            allow_pickle=False,
+        )
     for key in _KIND_ARRAYS[kind]:
         if key not in arrays:
             raise ArtifactError(

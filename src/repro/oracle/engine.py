@@ -4,7 +4,13 @@ Answers point-to-point distance and path queries from an
 :class:`~repro.oracle.artifact.OracleArtifact`:
 
 * **matrix artifacts** — a batched query is one fancy-index gather
-  ``estimates[us, vs]``;
+  ``estimates[us, vs]`` (with ``mmap=True`` the gather reads straight
+  from the memory-mapped ``estimates.npy``);
+* **sources artifacts** — an MSSP snapshot: ``estimates[i, v]``
+  approximates ``d(sources[i], v)``, so a query is answerable when
+  either endpoint is a source (the ``u`` row wins when both are);
+  uncovered pairs fail loudly instead of answering without
+  information;
 * **bunches artifacts** — the classic 2-hop Thorup–Zwick combine
   ``min_w d(u, w) + d(v, w)`` over the common members
   ``w ∈ B(u) ∩ B(v)`` of the two *directed* bunch out-stars (the pivot
@@ -117,6 +123,21 @@ class DistanceOracle:
                     f"matrix artifact has estimates of shape {self._est.shape}, "
                     f"expected {(self.n, self.n)}"
                 )
+        elif self.kind == "sources":
+            self._est = np.asarray(artifact.arrays["estimates"], dtype=np.float64)
+            self._sources = np.asarray(
+                artifact.arrays["sources"], dtype=np.int64
+            )
+            if self._est.shape != (self._sources.size, self.n):
+                raise ArtifactError(
+                    f"sources artifact has estimates of shape "
+                    f"{self._est.shape}, expected "
+                    f"{(self._sources.size, self.n)}"
+                )
+            self._source_row = np.full(self.n, -1, dtype=np.int64)
+            self._source_row[self._sources] = np.arange(
+                self._sources.size, dtype=np.int64
+            )
         elif self.kind == "bunches":
             self._indptr, self._cols, self._ds = _directed_csr(
                 self.n,
@@ -133,10 +154,16 @@ class DistanceOracle:
         path: str,
         expected_graph=None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        mmap: bool = False,
     ) -> "DistanceOracle":
-        """Load an artifact directory and wrap it in an oracle."""
+        """Load an artifact directory and wrap it in an oracle.
+
+        ``mmap=True`` memory-maps a format-2 estimate matrix
+        (:func:`repro.oracle.artifact.load_artifact`): answers are
+        bit-identical, but the payload stays on disk and pages in on
+        demand."""
         return cls(
-            load_artifact(path, expected_graph=expected_graph),
+            load_artifact(path, expected_graph=expected_graph, mmap=mmap),
             cache_size=cache_size,
         )
 
@@ -290,7 +317,39 @@ class DistanceOracle:
         if self.kind == "matrix":
             values = self._est[us, vs]
             return values, np.full(us.size, -1, dtype=np.int64)
+        if self.kind == "sources":
+            return self._sources_batch(us, vs)
         return self._combine_batch(us, vs, want_witness)
+
+    def _sources_batch(
+        self, us: np.ndarray, vs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather for a ``sources``-kind (MSSP) artifact.
+
+        ``estimates[i, v]`` approximates ``d(sources[i], v)``, so a
+        query is answerable when either endpoint is a source.  When both
+        are, the ``u`` row wins (a deterministic rule — the two rows may
+        disagree within the stretch).  Identical endpoints answer 0
+        unconditionally; any other pair touching no source raises (the
+        artifact has no information about it)."""
+        values = np.zeros(us.size, dtype=np.float64)
+        same = us == vs
+        urow = self._source_row[us]
+        vrow = self._source_row[vs]
+        use_u = (urow >= 0) & ~same
+        use_v = (urow < 0) & (vrow >= 0) & ~same
+        uncovered = (urow < 0) & (vrow < 0) & ~same
+        if uncovered.any():
+            bad = int(np.flatnonzero(uncovered)[0])
+            raise ArtifactError(
+                f"query ({int(us[bad])}, {int(vs[bad])}) touches no source "
+                f"of this MSSP artifact ({int(uncovered.sum())} of "
+                f"{us.size} queried pairs uncovered; "
+                f"{self._sources.size} sources)"
+            )
+        values[use_u] = self._est[urow[use_u], vs[use_u]]
+        values[use_v] = self._est[vrow[use_v], us[use_v]]
+        return values, np.full(us.size, -1, dtype=np.int64)
 
     def _combine_batch(
         self, us: np.ndarray, vs: np.ndarray, want_witness: bool = True

@@ -2,32 +2,48 @@
 
 :class:`OracleService` is transport-agnostic — ``handle(request_dict)``
 returns ``(status, response_dict)`` — so the same semantics back the CLI
-(``repro query``), tests, and the HTTP endpoint (``repro serve``).  The
-HTTP layer is a ``http.server.ThreadingHTTPServer`` (no new
-dependencies): ``POST /query`` with a JSON body, ``GET /info`` and
-``GET /healthz``.  Requests batch naturally: a ``pairs`` list (or
-parallel ``us`` / ``vs`` arrays) is answered by one vectorized engine
-pass.
+(``repro query``), tests, and the HTTP endpoint (``repro serve``).
+:class:`OracleRouter` hosts **many** artifacts in one process: each
+loaded artifact is mounted under a name, requests route per artifact
+(HTTP ``POST /query/<name>``), unknown names 404 listing what is
+mounted, and ``GET /info`` merges every artifact's manifest and serving
+counters.  A router with a single artifact keeps the original
+single-oracle surface (bare ``POST /query`` works, ``/info`` carries
+the legacy top-level ``manifest``/``stats`` keys), so existing clients
+are unaffected.
+
+The HTTP layer is a ``http.server.ThreadingHTTPServer`` (no new
+dependencies): ``POST /query[/<name>]`` with a JSON body,
+``GET /info[/<name>]`` and ``GET /healthz``.  Requests batch naturally:
+a ``pairs`` list (or parallel ``us`` / ``vs`` arrays) is answered by one
+vectorized engine pass.
 
 JSON has no ``Infinity``, so unreachable distances serialize as
 ``null``; the response's ``unreachable`` count makes that explicit.
-Errors are graceful: malformed JSON, unknown ops, out-of-range vertices
-and stale/mismatched artifacts all produce a ``4xx``/``409`` with an
-``"error"`` message instead of a traceback.
+Errors are graceful: malformed JSON, unknown ops, unknown artifact
+names, out-of-range vertices and stale/mismatched artifacts all produce
+a ``4xx``/``409`` with an ``"error"`` message instead of a traceback.
 """
 
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .artifact import ArtifactError, ArtifactMismatch
 from .engine import DistanceOracle
 
-__all__ = ["OracleService", "OracleHTTPServer", "make_server", "serve"]
+__all__ = [
+    "OracleRouter",
+    "OracleService",
+    "OracleHTTPServer",
+    "make_server",
+    "serve",
+]
 
 
 def _clean(value: float) -> Optional[float]:
@@ -138,14 +154,134 @@ class OracleService:
 
 
 # ----------------------------------------------------------------------
+# Multi-artifact routing
+# ----------------------------------------------------------------------
+
+class OracleRouter:
+    """Serve many named artifacts from one process.
+
+    Each mounted artifact gets its own :class:`OracleService`;
+    ``handle(request, name=...)`` routes to it.  With a single mounted
+    artifact the name may be omitted (the original one-oracle surface);
+    with several, an omitted or unknown name fails gracefully listing
+    what is mounted.
+    """
+
+    def __init__(self):
+        self._services: "OrderedDict[str, OracleService]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def mount(self, name: str, oracle: DistanceOracle) -> None:
+        """Mount one oracle under ``name`` (a URL path segment)."""
+        if not name or "/" in name:
+            raise ArtifactError(
+                f"artifact name {name!r} is not a valid route segment"
+            )
+        if name in self._services:
+            raise ArtifactError(
+                f"artifact name {name!r} is already mounted; names must "
+                "be unique (use --artifact NAME=PATH to disambiguate)"
+            )
+        self._services[name] = OracleService(oracle)
+
+    @classmethod
+    def load(
+        cls,
+        artifacts: Iterable[Tuple[Optional[str], str]],
+        mmap: bool = False,
+        cache_size: Optional[int] = None,
+    ) -> "OracleRouter":
+        """Build a router from ``(name, path)`` pairs.
+
+        ``name=None`` defaults to the artifact's manifest ``variant``
+        (duplicate defaults fail loudly — name them explicitly)."""
+        router = cls()
+        for name, path in artifacts:
+            kwargs = {} if cache_size is None else {"cache_size": cache_size}
+            oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
+            router.mount(name or oracle.artifact.variant, oracle)
+        return router
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._services)
+
+    def service(self, name: str) -> Optional[OracleService]:
+        return self._services.get(name)
+
+    def _resolve(
+        self, name: Optional[str]
+    ) -> Tuple[Optional[OracleService], int, Dict[str, object]]:
+        mounted = ", ".join(self.names) or "(none)"
+        if name is None:
+            if len(self._services) == 1:
+                return next(iter(self._services.values())), 200, {}
+            return None, 400, {
+                "error": "this server hosts multiple artifacts; query "
+                f"/query/<name> with one of: {mounted}",
+                "artifacts": list(self.names),
+            }
+        svc = self._services.get(name)
+        if svc is None:
+            return None, 404, {
+                "error": f"unknown artifact {name!r}; mounted: {mounted}",
+                "artifacts": list(self.names),
+            }
+        return svc, 200, {}
+
+    def handle(
+        self, request: object, name: Optional[str] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        """Route one request dict to a mounted artifact's service."""
+        svc, status, err = self._resolve(name)
+        if svc is None:
+            return status, err
+        return svc.handle(request)
+
+    def info(
+        self, name: Optional[str] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        """Merged `/info`: every artifact's manifest + counters.
+
+        A single-artifact router also carries the legacy top-level
+        ``manifest``/``stats`` keys so one-oracle clients keep working.
+        ``name`` selects one artifact's info (`/info/<name>`).
+        """
+        if name is not None:
+            svc, status, err = self._resolve(name)
+            if svc is None:
+                return status, err
+            return 200, svc.info()
+        merged: Dict[str, object] = {
+            "artifacts": {n: s.info() for n, s in self._services.items()},
+            "count": len(self._services),
+        }
+        if len(self._services) == 1:
+            merged.update(next(iter(self._services.values())).info())
+        return 200, merged
+
+
+# ----------------------------------------------------------------------
 # HTTP front end (stdlib only)
 # ----------------------------------------------------------------------
 
 class OracleHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server carrying the :class:`OracleService`."""
+    """A threading HTTP server carrying an :class:`OracleRouter`."""
 
     daemon_threads = True
-    service: OracleService
+    router: OracleRouter
+
+
+def _split_route(path: str, prefix: str) -> Tuple[bool, Optional[str]]:
+    """Match ``/prefix`` or ``/prefix/<name>``; returns (matched, name)."""
+    if path == prefix:
+        return True, None
+    if path.startswith(prefix + "/"):
+        name = path[len(prefix) + 1:]
+        if name and "/" not in name:
+            return True, name
+    return False, None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -162,13 +298,16 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/healthz":
             self._respond(200, {"ok": True})
-        elif self.path == "/info":
-            self._respond(200, self.server.service.info())
+            return
+        matched, name = _split_route(self.path, "/info")
+        if matched:
+            self._respond(*self.server.router.info(name))
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path != "/query":
+        matched, name = _split_route(self.path, "/query")
+        if not matched:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
             return
         try:
@@ -177,36 +316,57 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError) as exc:
             self._respond(400, {"error": f"malformed JSON request: {exc}"})
             return
-        status, body = self.server.service.handle(request)
-        self._respond(status, body)
+        self._respond(*self.server.router.handle(request, name))
 
     def log_message(self, fmt, *args) -> None:  # quiet by default
         pass
 
 
 def make_server(
-    oracle: DistanceOracle, host: str = "127.0.0.1", port: int = 0
+    oracle: Union[DistanceOracle, OracleRouter],
+    host: str = "127.0.0.1",
+    port: int = 0,
 ) -> OracleHTTPServer:
-    """Build (but do not start) the HTTP server; ``port=0`` picks a free
-    port (``server.server_address`` reports the bound one)."""
+    """Build (but do not start) the HTTP server for one oracle or a
+    whole router; ``port=0`` picks a free port
+    (``server.server_address`` reports the bound one)."""
+    if isinstance(oracle, OracleRouter):
+        router = oracle
+    else:
+        router = OracleRouter()
+        router.mount(oracle.artifact.variant, oracle)
     server = OracleHTTPServer((host, port), _Handler)
-    server.service = OracleService(oracle)
+    server.router = router
     return server
 
 
 def serve(
-    artifact_path: str, host: str = "127.0.0.1", port: int = 8080
+    artifacts: Union[str, Sequence[Tuple[Optional[str], str]]],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    mmap: bool = False,
 ) -> None:
-    """Load an artifact and serve it forever (the ``repro serve`` body)."""
-    oracle = DistanceOracle.load(artifact_path)
-    server = make_server(oracle, host=host, port=port)
+    """Load one or many artifacts and serve them forever (the
+    ``repro serve`` body).
+
+    ``artifacts`` is a single artifact-directory path, or a sequence of
+    ``(name, path)`` pairs (``name=None`` defaults to the manifest
+    variant) for multi-artifact routing."""
+    if isinstance(artifacts, str):
+        artifacts = [(None, artifacts)]
+    router = OracleRouter.load(artifacts, mmap=mmap)
+    server = make_server(router, host=host, port=port)
     bound_host, bound_port = server.server_address[:2]
-    manifest = oracle.artifact.manifest
-    print(
-        f"serving {manifest['variant']} oracle (n={oracle.n}, "
-        f"kind={oracle.kind}) on http://{bound_host}:{bound_port} — "
-        "POST /query, GET /info, GET /healthz"
-    )
+    base = f"http://{bound_host}:{bound_port}"
+    for name in router.names:
+        oracle = router.service(name).oracle
+        print(
+            f"serving {name!r}: variant={oracle.artifact.variant} "
+            f"(n={oracle.n}, kind={oracle.kind}) at {base}/query/{name}"
+        )
+    if len(router.names) == 1:
+        print(f"single artifact: bare {base}/query also routes to it")
+    print(f"GET {base}/info (merged), GET {base}/healthz")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

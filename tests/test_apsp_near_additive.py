@@ -32,7 +32,7 @@ class TestNearAdditiveAPSP:
             assert res.estimates[u, v] == 1.0
 
     def test_unknown_variant(self, small_er):
-        with pytest.raises(ValueError, match="unknown variant"):
+        with pytest.raises(ValueError, match="unknown emulator construction"):
             apsp_near_additive(small_er, eps=0.5, r=2, variant="bogus")
 
     def test_rounds_include_learning_phase(self, small_er, rng):

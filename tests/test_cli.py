@@ -12,8 +12,27 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["apsp"])
-        assert args.algo == "2eps"
+        # --algo defaults to None and resolves at dispatch time (2eps
+        # unweighted, near-additive weighted); params come from the
+        # variant's schema.
+        assert args.algo is None
+        assert args.eps is None and args.r is None
         assert args.family == "er_sparse"
+
+    def test_bad_algo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["apsp", "--algo", "nope"])
+
+    def test_registry_drives_choices(self):
+        from repro import variants
+
+        apsp_action = next(
+            a for a in build_parser()._subparsers._group_actions[0]
+            .choices["apsp"]._actions if a.dest == "algo"
+        )
+        assert set(apsp_action.choices) == {
+            s.name for s in variants.cli_algo_variants()
+        }
 
     def test_bad_family_rejected(self):
         with pytest.raises(SystemExit):
@@ -58,6 +77,21 @@ class TestMain:
         out = capsys.readouterr().out
         assert "weights: random integers in [1, 3]" in out
         assert "True" in out
+
+    def test_out_of_range_eps_rejected(self, capsys):
+        assert main(["apsp", "--n", "40", "--eps", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "2eps" in err and "0 < eps < 1" in err
+
+    def test_param_the_variant_does_not_take_rejected(self, capsys):
+        assert main(["apsp", "--n", "40", "--algo", "exact",
+                     "--eps", "0.5"]) == 2
+        assert "no parameter" in capsys.readouterr().err
+
+    def test_weighted_unsupported_algo_rejected(self, capsys):
+        assert main(["apsp", "--n", "40", "--algo", "2eps",
+                     "--max-weight", "3"]) == 2
+        assert "unweighted-only" in capsys.readouterr().err
 
     def test_weighted_mssp(self, capsys):
         assert main(

@@ -16,7 +16,7 @@ import urllib.request
 import numpy as np
 import pytest
 
-from repro import oracle
+from repro import oracle, variants
 from repro.emulator.thorup_zwick import build_tz_bunches
 from repro.graph import Graph, WeightedGraph
 from repro.graph import generators as gen
@@ -49,12 +49,19 @@ def random_pairs(n, count, seed=0):
     return rng.integers(0, n, count), rng.integers(0, n, count)
 
 
-@pytest.fixture(scope="module", params=sorted(oracle.VARIANTS))
+# Every registered variant whose artifact answers arbitrary pairs (the
+# "sources" kind only covers pairs touching a source; it gets its own
+# class below).
+_PAIR_VARIANTS = sorted(
+    s.name for s in variants.all_variants() if s.kind != "sources"
+)
+
+
+@pytest.fixture(scope="module", params=_PAIR_VARIANTS)
 def artifact(request, served_graph):
     return build_oracle(
         served_graph,
         variant=request.param,
-        eps=0.5,
         rng=np.random.default_rng(7),
     )
 
@@ -92,7 +99,7 @@ class TestBuild:
         assert m["format_version"] == oracle.FORMAT_VERSION
         assert m["n"] == served_graph.n
         assert m["graph_hash"] == graph_fingerprint(served_graph)
-        assert m["kind"] in ("matrix", "bunches")
+        assert m["kind"] in ("matrix", "bunches", "sources")
         assert float(m["multiplicative"]) >= 1.0
         assert float(m["additive"]) >= 0.0
         json.dumps(m)  # the whole manifest must be JSON-serializable
@@ -258,9 +265,13 @@ class TestPersistence:
         arrays = {
             k: v for k, v in artifact.arrays.items() if k != required
         }
+        arrays.pop("estimates", None)  # lives in estimates.npy (format 2)
         np.savez_compressed(
             os.path.join(path, oracle.artifact.ARRAYS_NAME), **arrays
         )
+        npy = os.path.join(path, oracle.artifact.ESTIMATES_NAME)
+        if os.path.exists(npy):
+            os.remove(npy)
         with pytest.raises(ArtifactError, match=required):
             load_artifact(path)
 

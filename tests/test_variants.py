@@ -1,0 +1,438 @@
+"""The variant registry and everything it drives (ISSUE 5).
+
+Covers: spec completeness (every registered variant builds, saves,
+loads, and answers a query batch bit-identically after the round-trip),
+duplicate-name registration failing loudly, the parameter schema
+(defaults, range validation, unknown parameters), the multi-artifact
+router (per-name routing, 404 on unknown names, merged ``/info``),
+mmap-backed matrix artifacts answering identically, and the pinned
+pre-refactor artifact fixtures (format-1 bytes built before the
+registry existed) loading and replaying bit-identically.
+"""
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import oracle, variants
+from repro.graph import generators as gen
+from repro.oracle import (
+    ArtifactError,
+    DistanceOracle,
+    OracleRouter,
+    build_oracle,
+    load_artifact,
+    make_server,
+    save_artifact,
+)
+from repro.variants import (
+    EmulatorConstruction,
+    ParamSpec,
+    UnknownVariantError,
+    VariantBuild,
+    VariantParamError,
+    VariantSpec,
+    register_emulator_construction,
+    register_variant,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "data", "prerefactor")
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return gen.make_family("er_sparse", 48, seed=5)
+
+
+def _query_pairs(spec, artifact, count=60, seed=3):
+    """A valid query batch for any artifact kind (sources-kind queries
+    must touch a source)."""
+    rng = np.random.default_rng(seed)
+    n = artifact.n
+    vs = rng.integers(0, n, count).astype(np.int64)
+    if spec.kind == "sources":
+        sources = np.asarray(artifact.arrays["sources"], dtype=np.int64)
+        us = sources[rng.integers(0, sources.size, count)]
+    else:
+        us = rng.integers(0, n, count).astype(np.int64)
+    return us, vs
+
+
+class TestRegistry:
+    def test_every_variant_registered_with_complete_spec(self):
+        specs = variants.all_variants()
+        assert {s.name for s in specs} >= {
+            "near-additive", "2eps", "3eps", "exact", "squaring",
+            "spanner", "mssp", "tz",
+        }
+        for spec in specs:
+            assert spec.kind in ("matrix", "bunches", "sources")
+            assert spec.summary and spec.guarantee
+            assert callable(spec.build)
+            assert spec.stretch is None or callable(spec.stretch)
+
+    def test_duplicate_name_fails_loudly(self):
+        with pytest.raises(variants.VariantError, match="already registered"):
+            register_variant(VariantSpec(
+                name="tz", kind="bunches", summary="dup", guarantee="dup",
+                build=lambda g, **_: VariantBuild(
+                    arrays={}, name="dup", multiplicative=1.0, additive=0.0
+                ),
+            ))
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(variants.VariantError, match="unknown artifact kind"):
+            register_variant(VariantSpec(
+                name="never-registered", kind="blob", summary="x",
+                guarantee="x",
+                build=lambda g, **_: None,
+            ))
+
+    def test_unknown_variant_lists_registry(self):
+        with pytest.raises(UnknownVariantError, match="tz"):
+            variants.get_variant("nope")
+
+    def test_duplicate_emulator_construction_fails(self):
+        with pytest.raises(variants.VariantError, match="already registered"):
+            register_emulator_construction(EmulatorConstruction(
+                name="cc", build=None, guarantee=None,
+            ))
+
+    def test_unknown_emulator_construction_lists_known(self):
+        assert set(variants.emulator_construction_names()) == {
+            "ideal", "cc", "whp", "deterministic",
+        }
+        with pytest.raises(UnknownVariantError, match="ideal"):
+            variants.emulator_construction("bogus")
+
+
+class TestParamSchema:
+    def test_defaults_fill_including_derived(self, small_graph):
+        spec = variants.get_variant("near-additive")
+        params = spec.resolve_params({}, n=small_graph.n)
+        assert params["eps"] == 0.5
+        assert params["r"] >= 1  # the paper's default r = log log n
+
+    def test_out_of_range_names_variant_and_range(self):
+        spec = variants.get_variant("2eps")
+        with pytest.raises(VariantParamError, match="0 < eps < 1"):
+            spec.resolve_params({"eps": 2.0}, n=64)
+        with pytest.raises(VariantParamError, match="'2eps'"):
+            spec.resolve_params({"eps": 0.0}, n=64)
+        with pytest.raises(VariantParamError, match=r"r=0"):
+            spec.resolve_params({"r": 0}, n=64)
+
+    def test_unknown_parameter_rejected(self):
+        spec = variants.get_variant("tz")
+        with pytest.raises(VariantParamError, match="no parameter"):
+            spec.resolve_params({"eps": 0.5}, n=64)
+        spec = variants.get_variant("exact")
+        with pytest.raises(VariantParamError, match="takes no parameters"):
+            spec.resolve_params({"eps": 0.5}, n=64)
+
+    def test_non_integer_rejected(self):
+        spec = variants.get_variant("tz")
+        with pytest.raises(VariantParamError, match="integer"):
+            spec.resolve_params({"r": 2.5}, n=64)
+        assert spec.resolve_params({"r": 2.0}, n=64) == {"r": 2}
+
+    def test_none_means_default(self):
+        spec = variants.get_variant("2eps")
+        assert spec.resolve_params({"eps": None, "r": None}, n=64) == \
+            spec.resolve_params({}, n=64)
+
+    def test_describe_range(self):
+        eps = variants.get_variant("2eps").params[0]
+        assert eps.describe_range() == "0 < eps < 1"
+
+
+class TestSpecCompleteness:
+    """Every registered variant builds, saves, loads, and replays its
+    query batch bit-identically (the registry's end-to-end contract)."""
+
+    @pytest.mark.parametrize(
+        "name", [s.name for s in variants.all_variants()]
+    )
+    def test_build_save_load_query_roundtrip(self, name, small_graph, tmp_path):
+        spec = variants.get_variant(name)
+        artifact = build_oracle(
+            small_graph, variant=name, rng=np.random.default_rng(7)
+        )
+        assert artifact.kind == spec.kind
+        assert artifact.manifest["params"] == \
+            oracle.artifact._jsonable(
+                spec.resolve_params({}, n=small_graph.n))
+        us, vs = _query_pairs(spec, artifact)
+        fresh = DistanceOracle(artifact, cache_size=0).query_batch(us, vs)
+
+        path = str(tmp_path / name)
+        save_artifact(artifact, path)
+        loaded = DistanceOracle.load(path, cache_size=0)
+        assert np.array_equal(fresh, loaded.query_batch(us, vs))
+
+    @pytest.mark.parametrize(
+        "name", [s.name for s in variants.all_variants()
+                 if s.stretch is not None]
+    )
+    def test_manifest_matches_stretch_formula(self, name, small_graph):
+        spec = variants.get_variant(name)
+        artifact = build_oracle(
+            small_graph, variant=name, rng=np.random.default_rng(7)
+        )
+        params = spec.resolve_params({}, n=small_graph.n)
+        mult, add = spec.stretch(small_graph.n, **params)
+        assert artifact.multiplicative == pytest.approx(mult)
+        assert artifact.additive == pytest.approx(add)
+
+    @pytest.mark.parametrize(
+        "name", [s.name for s in variants.cli_algo_variants()]
+    )
+    def test_cli_run_callable(self, name, small_graph):
+        spec = variants.get_variant(name)
+        params = spec.resolve_params({}, n=small_graph.n)
+        res = spec.run(small_graph, rng=np.random.default_rng(0), **params)
+        assert res.estimates.shape == (small_graph.n, small_graph.n)
+
+
+class TestSourcesKind:
+    @pytest.fixture(scope="class")
+    def mssp_artifact(self, small_graph):
+        return build_oracle(
+            small_graph, variant="mssp", rng=np.random.default_rng(7)
+        )
+
+    def test_covered_queries_within_guarantee(self, small_graph, mssp_artifact):
+        from repro.graph.distances import all_pairs_distances
+
+        exact = all_pairs_distances(small_graph)
+        eng = DistanceOracle(mssp_artifact)
+        us, vs = _query_pairs(
+            variants.get_variant("mssp"), mssp_artifact, count=120
+        )
+        vals = eng.query_batch(us, vs)
+        ex = exact[us, vs]
+        finite = np.isfinite(ex)
+        assert (vals[finite] >= ex[finite] - 1e-9).all()
+        bound = mssp_artifact.multiplicative * ex[finite]
+        assert (vals[finite] <= bound + 1e-9).all()
+
+    def test_either_endpoint_may_be_the_source(self, mssp_artifact):
+        eng = DistanceOracle(mssp_artifact, cache_size=0)
+        s = int(mssp_artifact.arrays["sources"][0])
+        # (s, 5) reads row(s) directly; (5, s) falls back to the v
+        # endpoint's row — the same matrix cell, so the answers match.
+        assert eng.query(s, 5) == eng.query(5, s)
+
+    def test_self_pair_is_zero_even_off_source(self, mssp_artifact):
+        eng = DistanceOracle(mssp_artifact, cache_size=0)
+        non_source = int(np.flatnonzero(
+            np.isin(np.arange(mssp_artifact.n),
+                    mssp_artifact.arrays["sources"], invert=True))[0])
+        assert eng.query(non_source, non_source) == 0.0
+
+    def test_uncovered_pair_fails_loudly(self, mssp_artifact):
+        eng = DistanceOracle(mssp_artifact, cache_size=0)
+        sources = set(int(s) for s in mssp_artifact.arrays["sources"])
+        u, v = [x for x in range(mssp_artifact.n) if x not in sources][:2]
+        with pytest.raises(ArtifactError, match="touches no source"):
+            eng.query(u, v)
+
+
+class TestMmap:
+    def test_mmap_answers_identical(self, small_graph, tmp_path):
+        artifact = build_oracle(
+            small_graph, variant="near-additive",
+            rng=np.random.default_rng(7),
+        )
+        path = str(tmp_path / "na")
+        save_artifact(artifact, path)
+        assert os.path.isfile(os.path.join(path, oracle.artifact.ESTIMATES_NAME))
+        rng = np.random.default_rng(2)
+        us = rng.integers(0, small_graph.n, 500)
+        vs = rng.integers(0, small_graph.n, 500)
+        full = DistanceOracle.load(path, cache_size=0)
+        mapped = DistanceOracle.load(path, cache_size=0, mmap=True)
+        assert isinstance(
+            mapped.artifact.arrays["estimates"], np.memmap
+        )
+        assert np.array_equal(
+            full.query_batch(us, vs), mapped.query_batch(us, vs)
+        )
+
+    def test_v1_artifact_mmap_falls_back_to_full_load(self):
+        path = os.path.join(FIXTURES, "near-additive")
+        art = load_artifact(path, mmap=True)  # estimates inside the npz
+        assert not isinstance(art.arrays["estimates"], np.memmap)
+
+    def test_bad_params_echo_rejected_on_load(self, small_graph, tmp_path):
+        artifact = build_oracle(
+            small_graph, variant="2eps", rng=np.random.default_rng(7)
+        )
+        path = str(tmp_path / "bad-params")
+        save_artifact(artifact, path)
+        mf = os.path.join(path, oracle.artifact.MANIFEST_NAME)
+        with open(mf) as fh:
+            manifest = json.load(fh)
+        manifest["params"]["eps"] = 7.0
+        with open(mf, "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ArtifactError, match="parameter schema"):
+            load_artifact(path)
+
+
+class TestPreRefactorBitIdentity:
+    """Artifacts whose bytes were written *before* this refactor
+    (format 1: every array inside arrays.npz) load and answer the pinned
+    query batch bit-identically, and fresh builds still reproduce the
+    same answers."""
+
+    @pytest.fixture(scope="class")
+    def fixture_graph(self):
+        with open(os.path.join(FIXTURES, "meta.json")) as fh:
+            meta = json.load(fh)
+        return gen.make_family(meta["family"], meta["n"], seed=meta["seed"])
+
+    @pytest.fixture(scope="class")
+    def pinned_queries(self):
+        return (
+            np.load(os.path.join(FIXTURES, "query_us.npy")),
+            np.load(os.path.join(FIXTURES, "query_vs.npy")),
+        )
+
+    @pytest.mark.parametrize("variant", ["near-additive", "tz"])
+    def test_pinned_artifact_replays_bit_identically(
+        self, variant, fixture_graph, pinned_queries
+    ):
+        path = os.path.join(FIXTURES, variant)
+        art = load_artifact(path, expected_graph=fixture_graph)
+        assert int(art.manifest["format_version"]) == 1  # pre-refactor bytes
+        us, vs = pinned_queries
+        got = DistanceOracle(art, cache_size=0).query_batch(us, vs)
+        expected = np.load(os.path.join(FIXTURES, f"{variant}-answers.npy"))
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("variant", ["near-additive", "tz"])
+    def test_fresh_build_matches_pinned_answers(
+        self, variant, fixture_graph, pinned_queries
+    ):
+        art = build_oracle(
+            fixture_graph, variant=variant, rng=np.random.default_rng(7)
+        )
+        us, vs = pinned_queries
+        got = DistanceOracle(art, cache_size=0).query_batch(us, vs)
+        expected = np.load(os.path.join(FIXTURES, f"{variant}-answers.npy"))
+        assert np.array_equal(got, expected)
+
+    def test_resave_upgrades_format_and_keeps_answers(
+        self, fixture_graph, pinned_queries, tmp_path
+    ):
+        art = load_artifact(os.path.join(FIXTURES, "near-additive"))
+        out = str(tmp_path / "upgraded")
+        save_artifact(art, out)
+        with open(os.path.join(out, oracle.artifact.MANIFEST_NAME)) as fh:
+            assert json.load(fh)["format_version"] == oracle.FORMAT_VERSION
+        us, vs = pinned_queries
+        got = DistanceOracle.load(out, cache_size=0, mmap=True).query_batch(us, vs)
+        expected = np.load(
+            os.path.join(FIXTURES, "near-additive-answers.npy"))
+        assert np.array_equal(got, expected)
+
+
+class TestRouter:
+    @pytest.fixture(scope="class")
+    def router(self, small_graph, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("router")
+        mounts = []
+        for name, variant in (("tz", "tz"), ("na", "near-additive")):
+            art = build_oracle(
+                small_graph, variant=variant, rng=np.random.default_rng(7)
+            )
+            path = str(tmp / name)
+            save_artifact(art, path)
+            mounts.append((name, path))
+        return OracleRouter.load(mounts)
+
+    def test_routes_by_name(self, router):
+        assert router.names == ("tz", "na")
+        s_tz, body_tz = router.handle({"u": 0, "v": 7}, name="tz")
+        s_na, body_na = router.handle({"u": 0, "v": 7}, name="na")
+        assert s_tz == s_na == 200
+        assert body_tz["distance"] is not None
+        assert body_na["distance"] is not None
+
+    def test_unknown_name_404_lists_mounted(self, router):
+        status, body = router.handle({"u": 0, "v": 1}, name="nope")
+        assert status == 404
+        assert body["artifacts"] == ["tz", "na"]
+
+    def test_bare_query_ambiguous_with_many(self, router):
+        status, body = router.handle({"u": 0, "v": 1})
+        assert status == 400
+        assert "multiple artifacts" in body["error"]
+
+    def test_bare_query_routes_with_one(self, small_graph):
+        art = build_oracle(
+            small_graph, variant="exact", rng=np.random.default_rng(0)
+        )
+        router = OracleRouter()
+        router.mount("only", DistanceOracle(art))
+        status, body = router.handle({"u": 0, "v": 1})
+        assert status == 200 and "distance" in body
+
+    def test_merged_info(self, router):
+        status, info = router.info()
+        assert status == 200
+        assert set(info["artifacts"]) == {"tz", "na"}
+        assert info["count"] == 2
+        assert info["artifacts"]["na"]["manifest"]["variant"] == "near-additive"
+        status, one = router.info(name="tz")
+        assert status == 200 and one["manifest"]["variant"] == "tz"
+
+    def test_duplicate_mount_fails(self, router, small_graph):
+        art = build_oracle(
+            small_graph, variant="exact", rng=np.random.default_rng(0)
+        )
+        with pytest.raises(ArtifactError, match="already mounted"):
+            router.mount("tz", DistanceOracle(art))
+        with pytest.raises(ArtifactError, match="route segment"):
+            router.mount("a/b", DistanceOracle(art))
+
+    def test_http_per_artifact_routes(self, router):
+        server = make_server(router, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            base = f"http://{host}:{port}"
+            for name in ("tz", "na"):
+                req = urllib.request.Request(
+                    f"{base}/query/{name}",
+                    data=json.dumps({"pairs": [[0, 1], [2, 2]]}).encode(),
+                )
+                body = json.loads(urllib.request.urlopen(req).read())
+                assert body["count"] == 2 and body["distances"][1] == 0.0
+            info = json.loads(urllib.request.urlopen(f"{base}/info").read())
+            assert set(info["artifacts"]) == {"tz", "na"}
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(urllib.request.Request(
+                    f"{base}/query/bogus", data=b"{}"))
+            assert err.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(urllib.request.Request(
+                    f"{base}/query", data=json.dumps({"u": 0, "v": 1}).encode()))
+            assert err.value.code == 400
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_cli_serve_mount_parsing(self):
+        from repro.cli import _parse_artifact_mounts
+
+        assert _parse_artifact_mounts(["a=/x", "/y"]) == [("a", "/x"), (None, "/y")]
+        with pytest.raises(ArtifactError, match="NAME=PATH"):
+            _parse_artifact_mounts(["=/x"])
