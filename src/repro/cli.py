@@ -14,6 +14,13 @@ Examples::
     python -m repro serve --artifact /tmp/oracle --port 8080
     # multi-artifact serving: one process, per-artifact routes
     python -m repro serve --artifact tz=/tmp/tz --artifact na=/tmp/na
+    # per-mount cache override + serving limits
+    python -m repro serve --artifact na=/tmp/na,cache_size=100000 \\
+        --max-inflight 32 --default-timeout-ms 2000
+    # query a running server (retries 503/conn-reset with backoff)
+    python -m repro query --url http://127.0.0.1:8080 --u 0 --v 399
+    # recompute the manifest's per-array checksums
+    python -m repro verify-artifact --artifact /tmp/oracle
 
 Algorithm and oracle variants — their ``--algo`` / ``--variant``
 choices, parameter schemas, and dispatch — come from the declarative
@@ -155,9 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_query = sub.add_parser(
-        "query", help="answer distance queries from a saved artifact"
+        "query", help="answer distance queries from a saved artifact "
+        "or a running server (--url)"
     )
-    p_query.add_argument("--artifact", required=True)
+    p_query.add_argument(
+        "--artifact", default=None,
+        help="local artifact directory (exactly one of --artifact/--url)",
+    )
+    p_query.add_argument(
+        "--url", default=None,
+        help="base URL of a running `repro serve` instance; queries go "
+             "over HTTP with retry/backoff on 503/connection reset",
+    )
+    p_query.add_argument(
+        "--name", default=None,
+        help="mounted artifact name on the server (--url with a "
+             "multi-artifact instance)",
+    )
+    p_query.add_argument(
+        "--timeout-ms", type=float, default=None,
+        help="per-request deadline sent to the server (--url only); "
+             "expiry returns the server's 504",
+    )
     p_query.add_argument("--u", type=int, default=None)
     p_query.add_argument("--v", type=int, default=None)
     p_query.add_argument(
@@ -182,12 +208,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact", required=True, action="append",
         help="artifact directory, or NAME=PATH to mount it under a "
              "route name; repeat the flag to serve several artifacts "
-             "from one process (POST /query/<name>)",
+             "from one process (POST /query/<name>).  Per-mount "
+             "overrides append as ,key=value — e.g. "
+             "NAME=PATH,cache_size=100000",
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
+    limits = oracle.DEFAULT_LIMITS
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=limits.max_inflight,
+        help="bounded in-flight requests per mount; excess gets 503 + "
+             "Retry-After (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=limits.max_batch,
+        help="largest accepted query batch; larger gets 413 "
+             "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--max-body-bytes", type=int, default=limits.max_body_bytes,
+        help="largest accepted HTTP body; larger gets 413 "
+             "(default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--default-timeout-ms", type=float, default=None,
+        help="deadline applied when the request sends no timeout_ms "
+             "(default: none)",
+    )
+    p_serve.add_argument(
+        "--max-timeout-ms", type=float, default=limits.max_timeout_ms,
+        help="cap on client-requested timeout_ms (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout", type=float, default=limits.drain_timeout_s,
+        help="seconds SIGTERM/SIGINT waits for in-flight requests "
+             "before exiting (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=None,
+        help="per-mount LRU result-cache capacity (mount option "
+             "cache_size=N overrides per artifact)",
+    )
     mmap_flag(p_serve)
     backend_flag(p_serve)
+
+    p_verify = sub.add_parser(
+        "verify-artifact",
+        help="recompute every array's SHA-256 against the manifest "
+             "checksums (detects torn writes and bit rot)",
+    )
+    p_verify.add_argument("--artifact", required=True)
     return parser
 
 
@@ -206,12 +276,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.backend == "parallel":
             print(f"kernel backend: parallel ({kernels.parallel_mode()})")
 
-    if args.command in ("query", "serve"):
+    if args.command in ("query", "serve", "verify-artifact"):
         try:
             return _main_serving(args)
         except oracle.ArtifactError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        except oracle.OracleClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
 
     g = generators.make_family(args.family, args.n, seed=args.seed)
     rng = np.random.default_rng(args.seed)
@@ -330,34 +403,99 @@ def _parse_pairs(spec: str):
     return pairs
 
 
+#: Per-mount option parsers for ``--artifact NAME=PATH,key=value``.
+_MOUNT_OPTION_PARSERS = {"cache_size": int}
+
+
 def _parse_artifact_mounts(entries):
-    """``--artifact`` values: ``PATH`` or ``NAME=PATH`` -> (name, path)."""
+    """``--artifact`` values: ``PATH`` or ``NAME=PATH``, optionally
+    followed by ``,key=value`` per-mount overrides (``cache_size=N``).
+
+    Returns ``(name, path)`` or ``(name, path, options)`` tuples — the
+    :meth:`repro.oracle.OracleRouter.load` input shape."""
     mounts = []
     for entry in entries:
-        if "=" in entry:
-            name, _, path = entry.partition("=")
+        first, *option_parts = entry.split(",")
+        first = first.strip()
+        if "=" in first:
+            name, _, path = first.partition("=")
             name, path = name.strip(), path.strip()
             if not name or not path:
                 raise oracle.ArtifactError(
                     f"malformed --artifact entry {entry!r}; expected "
-                    "NAME=PATH"
+                    "NAME=PATH[,key=value...]"
                 )
-            mounts.append((name, path))
         else:
-            mounts.append((None, entry))
+            name, path = None, first
+        options = {}
+        for part in option_parts:
+            key, sep, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not key or not value:
+                raise oracle.ArtifactError(
+                    f"malformed mount option {part!r} in --artifact "
+                    f"entry {entry!r}; expected key=value"
+                )
+            parse = _MOUNT_OPTION_PARSERS.get(key)
+            if parse is None:
+                raise oracle.ArtifactError(
+                    f"unknown mount option {key!r} in --artifact entry "
+                    f"{entry!r}; supported: "
+                    f"{sorted(_MOUNT_OPTION_PARSERS)}"
+                )
+            try:
+                options[key] = parse(value)
+            except ValueError:
+                raise oracle.ArtifactError(
+                    f"mount option {key}={value!r} in --artifact entry "
+                    f"{entry!r} is not a valid {parse.__name__}"
+                )
+        mounts.append((name, path, options) if options else (name, path))
     return mounts
 
 
 def _main_serving(args) -> int:
-    """``repro query`` / ``repro serve``: answer from saved artifacts."""
+    """``repro query`` / ``repro serve`` / ``repro verify-artifact``."""
     if args.command == "serve":
+        import dataclasses
+
+        limits = dataclasses.replace(
+            oracle.DEFAULT_LIMITS,
+            max_inflight=args.max_inflight,
+            max_batch=args.max_batch,
+            max_body_bytes=args.max_body_bytes,
+            default_timeout_ms=args.default_timeout_ms,
+            max_timeout_ms=args.max_timeout_ms,
+            drain_timeout_s=args.drain_timeout,
+        )
         oracle.serve(
             _parse_artifact_mounts(args.artifact),
             host=args.host,
             port=args.port,
             mmap=args.mmap,
+            cache_size=args.cache_size,
+            limits=limits,
         )
         return 0
+
+    if args.command == "verify-artifact":
+        artifact = oracle.load_artifact(args.artifact)
+        verified = artifact.verify()
+        print(
+            f"artifact {args.artifact} OK: {len(verified)} arrays verified "
+            f"({', '.join(verified)})"
+        )
+        return 0
+
+    if (args.artifact is None) == (args.url is None):
+        print(
+            "error: query needs exactly one of --artifact (local) or "
+            "--url (server)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.url is not None:
+        return _main_query_remote(args)
 
     engine = oracle.DistanceOracle.load(args.artifact, mmap=args.mmap)
     m = engine.artifact.manifest
@@ -392,6 +530,66 @@ def _main_serving(args) -> int:
         )
     if args.want_path:
         path = engine.path(args.u, args.v)
+        if path is None:
+            print("path: unreachable")
+        else:
+            print(f"path ({len(path) - 1} hops): {' -> '.join(map(str, path))}")
+    return 0
+
+
+def _main_query_remote(args) -> int:
+    """``repro query --url``: the same queries over HTTP, through the
+    retrying :class:`repro.oracle.OracleClient`."""
+    client = oracle.OracleClient(args.url)
+
+    def run(request):
+        if args.timeout_ms is not None:
+            request["timeout_ms"] = args.timeout_ms
+        status, body = client.query(request, name=args.name)
+        if status != 200:
+            print(
+                f"error: server returned {status}: "
+                f"{body.get('error', body)}",
+                file=sys.stderr,
+            )
+            return status, None
+        return status, body
+
+    if args.pairs is not None:
+        pairs = _parse_pairs(args.pairs)
+        status, body = run({"pairs": [[u, v] for u, v in pairs]})
+        if body is None:
+            return 3
+        rows = [
+            [u, v, "inf" if d is None else round(float(d), 3)]
+            for (u, v), d in zip(pairs, body["distances"])
+        ]
+        print(format_table(["u", "v", "estimate"], rows))
+        return 0
+    if args.u is None or args.v is None:
+        print("error: query needs --u and --v (or --pairs)", file=sys.stderr)
+        return 2
+    status, body = run({"u": args.u, "v": args.v})
+    if body is None:
+        return 3
+    d = body["distance"]
+    shown = "inf (unreachable)" if d is None else f"{d:g}"
+    print(f"d({args.u}, {args.v}) <= {shown}")
+    if args.cert:
+        status, cert = run({"op": "certificate", "u": args.u, "v": args.v})
+        if cert is None:
+            return 3
+        lo = "inf" if cert["lower_bound"] is None else f"{cert['lower_bound']:g}"
+        print(
+            f"certificate: {lo} <= d <= {shown}  "
+            f"(mult={cert['multiplicative']:g}, add={cert['additive']:g}, "
+            f"witness={cert['witness']})"
+        )
+    if args.want_path:
+        status, pbody = run({"op": "path", "u": args.u, "v": args.v})
+        if pbody is None:
+            return 3
+        path = pbody["path"]
         if path is None:
             print("path: unreachable")
         else:

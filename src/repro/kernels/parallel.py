@@ -53,13 +53,16 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import sys
 import threading
+import time
 import warnings
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
+    "ENV_POOL_TIMEOUT_VAR",
     "ENV_WORKERS_VAR",
     "MIN_PARALLEL_CELLS",
     "ParallelFallback",
@@ -77,6 +80,36 @@ __all__ = [
 #: Worker-count override for the multiprocessing rung (also what the
 #: E18 benchmark records as the thread count of a run).
 ENV_WORKERS_VAR = "REPRO_KERNEL_WORKERS"
+
+#: Hung-worker budget override (seconds): a pool map whose workers make
+#: no progress for this long is declared hung and torn down.
+ENV_POOL_TIMEOUT_VAR = "REPRO_POOL_TIMEOUT"
+
+#: Default hung-worker budget — generous, because a legitimate shard on
+#: a loaded host can be slow; the supervisor's *liveness* check (dead
+#: workers) fires within a poll interval regardless.
+_DEFAULT_POOL_TIMEOUT = 120.0
+
+#: How often the pool supervisor wakes to check worker liveness.
+_SUPERVISE_POLL = 0.05
+
+
+def _pool_timeout() -> float:
+    """The hung-worker budget (``REPRO_POOL_TIMEOUT`` override)."""
+    value = os.environ.get(ENV_POOL_TIMEOUT_VAR)
+    if not value:
+        return _DEFAULT_POOL_TIMEOUT
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_POOL_TIMEOUT_VAR}={value!r} is not a number of seconds"
+        )
+    if timeout <= 0:
+        raise ValueError(
+            f"{ENV_POOL_TIMEOUT_VAR} must be > 0, got {timeout!r}"
+        )
+    return timeout
 
 #: Output cells below which a "parallel" request runs in-process: at this
 #: size the fork/compile overhead dominates any speedup.  Tests lower it
@@ -278,6 +311,28 @@ class _PoolUnavailable(Exception):
     the caller falls back to in-process serial shards."""
 
 
+class _PoolBroken(Exception):
+    """Internal: a dispatched pool map lost a worker (killed, OOMed) or
+    made no progress inside the hung-worker budget.  The pool is torn
+    down; the caller rebuilds once, then degrades to serial shards."""
+
+
+def _fire_worker_fault() -> None:
+    """Fire the ``parallel.worker`` chaos point inside a pool worker.
+
+    Kernel workers must not drag the oracle package in (pure kernel
+    users never import it), so the injector is only consulted when it is
+    already loaded in this process (forked workers inherit the parent's
+    armed injector) or the environment spec names this point.
+    """
+    faults = sys.modules.get("repro.oracle.faults")
+    if faults is None:
+        if "parallel.worker" not in os.environ.get("REPRO_FAULTS", ""):
+            return
+        from ..oracle import faults  # noqa: PLC0415 — chaos-only import
+    faults.FAULTS.fire("parallel.worker")
+
+
 def _publish_shared(payload):
     """Copy the payload's arrays into shared-memory segments.
 
@@ -341,6 +396,7 @@ def _pool_entry(task):
     run the named shard kernel, release the segments."""
     kind, bounds, slots = task
     global _PAYLOAD
+    _fire_worker_fault()
     payload, handles = _attach_shared(slots)
     _PAYLOAD = payload
     try:
@@ -371,8 +427,13 @@ def _map_shards(kind: str, payload, total_rows: int):
     if len(bounds) > 1 and _fork_available():
         try:
             return _map_on_pool(kind, payload, bounds)
-        except _PoolUnavailable:
-            pass
+        except _PoolUnavailable as exc:
+            warnings.warn(
+                f"backend='parallel': shard pool unavailable ({exc}); "
+                "degrading to in-process serial shards for this call",
+                ParallelFallback,
+                stacklevel=3,
+            )
     _PAYLOAD = payload
     try:
         return [worker(b) for b in bounds]
@@ -380,22 +441,76 @@ def _map_shards(kind: str, payload, total_rows: int):
         _PAYLOAD = None
 
 
+def _supervised_map(pool, tasks, timeout: float):
+    """``pool.map`` with worker supervision: detect a worker that died
+    mid-task (``multiprocessing.Pool`` silently replaces it and the map
+    waits forever for the lost task) or a map that makes no progress for
+    ``timeout`` seconds; raise :class:`_PoolBroken` instead of hanging.
+
+    Death is detected by comparing the pool's worker pid-set against the
+    dispatch-time snapshot (the pool's maintenance thread swaps dead
+    workers for fresh pids) plus a plain liveness sweep.
+    """
+    initial = {p.pid for p in pool._pool}
+    result = pool.map_async(_pool_entry, tasks)
+    end = time.monotonic() + timeout
+    while True:
+        try:
+            return result.get(timeout=_SUPERVISE_POLL)
+        except multiprocessing.TimeoutError:
+            workers = list(pool._pool)
+            pids = {p.pid for p in workers}
+            if pids != initial or not all(p.is_alive() for p in workers):
+                raise _PoolBroken(
+                    "a shard worker died mid-task (killed or crashed)"
+                )
+            if time.monotonic() >= end:
+                raise _PoolBroken(
+                    f"shard workers made no progress for {timeout:g}s "
+                    f"(set {ENV_POOL_TIMEOUT_VAR} to adjust)"
+                )
+
+
 def _map_on_pool(kind: str, payload, bounds):
-    """Dispatch shard tasks onto the persistent pool."""
-    try:
-        pool = _get_pool(worker_count())
-    except Exception as exc:
-        raise _PoolUnavailable(str(exc))
+    """Dispatch shard tasks onto the persistent pool, supervised.
+
+    A broken map (dead or hung worker) tears the pool down and retries
+    once on a freshly forked pool; a second failure degrades the call to
+    :class:`_PoolUnavailable` (the serial-shard rung).  Shared-memory
+    segments are closed and unlinked on every exit path — a killed
+    worker never leaks its operands' segments.
+    """
     segments, slots = _publish_shared(payload)
+    tasks = [(kind, b, slots) for b in bounds]
+    timeout = _pool_timeout()
     try:
-        return pool.map(_pool_entry, [(kind, b, slots) for b in bounds])
-    except _PoolUnavailable:
-        raise
-    except Exception:
-        # A broken pool must not poison later calls: tear it down so the
-        # next engagement forks a fresh one, then surface the error.
-        shutdown_pool()
-        raise
+        for attempt in (1, 2):
+            try:
+                pool = _get_pool(worker_count())
+            except Exception as exc:
+                raise _PoolUnavailable(str(exc))
+            try:
+                return _supervised_map(pool, tasks, timeout)
+            except _PoolBroken as exc:
+                # The pool lost state (a worker died holding a task):
+                # terminate it so the next attempt forks a clean one.
+                shutdown_pool()
+                if attempt > 1:
+                    raise _PoolUnavailable(str(exc))
+                warnings.warn(
+                    f"backend='parallel': {exc}; rebuilding the shard "
+                    "pool and retrying once",
+                    ParallelFallback,
+                    stacklevel=4,
+                )
+            except _PoolUnavailable:
+                raise
+            except Exception:
+                # A broken pool must not poison later calls: tear it
+                # down so the next engagement forks a fresh one, then
+                # surface the error.
+                shutdown_pool()
+                raise
     finally:
         for shm in segments:
             shm.close()

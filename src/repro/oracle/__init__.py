@@ -21,12 +21,22 @@ end, the preprocess/query split production distance services amortize:
   merged ``/info``), and a stdlib ``ThreadingHTTPServer`` front end
   (``repro serve --artifact NAME=PATH ...``), no new dependencies.
 
+The serving stack is failure-aware end to end: crash-safe checksummed
+artifact writes (:mod:`repro.oracle.artifact`), per-request deadlines,
+admission control and graceful drain (:mod:`repro.oracle.resilience` +
+:mod:`repro.oracle.service`), a retrying client
+(:mod:`repro.oracle.client`), and a fault-injection harness
+(:mod:`repro.oracle.faults`) whose chaos suite drives the real HTTP
+server through every failure mode.  DESIGN.md §7 tabulates the failure
+semantics.
+
 DESIGN.md §6 documents the artifact format, query semantics, and cache
 policy; benchmark E19 (``benchmarks/bench_oracle.py``) records the
 single-vs-batched serving throughput.
 """
 
 from .artifact import (
+    ArtifactCorrupt,
     ArtifactError,
     ArtifactMismatch,
     FORMAT_VERSION,
@@ -36,7 +46,17 @@ from .artifact import (
     load_artifact,
     save_artifact,
 )
+from .client import ClientRetriesExhausted, OracleClient, OracleClientError
 from .engine import DistanceOracle, QueryCertificate
+from .faults import FAULTS, FaultInjector, InjectedFault
+from .resilience import (
+    DEFAULT_LIMITS,
+    AdmissionController,
+    AdmissionRejected,
+    Deadline,
+    DeadlineExceeded,
+    ServingLimits,
+)
 from .service import OracleRouter, OracleService, make_server, serve
 
 
@@ -51,15 +71,28 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ArtifactCorrupt",
     "ArtifactError",
     "ArtifactMismatch",
+    "ClientRetriesExhausted",
+    "DEFAULT_LIMITS",
+    "Deadline",
+    "DeadlineExceeded",
     "DistanceOracle",
+    "FAULTS",
     "FORMAT_VERSION",
+    "FaultInjector",
+    "InjectedFault",
     "MATRIX_VARIANTS",
     "OracleArtifact",
+    "OracleClient",
+    "OracleClientError",
     "OracleRouter",
     "OracleService",
     "QueryCertificate",
+    "ServingLimits",
     "VARIANTS",
     "build_oracle",
     "graph_fingerprint",

@@ -41,16 +41,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from .. import variants as variants_registry
 from ..graph.graph import Graph, WeightedGraph
 from ..variants import UnknownVariantError, VariantParamError
+from .faults import FAULTS
 
 __all__ = [
+    "ArtifactCorrupt",
     "ArtifactError",
     "ArtifactMismatch",
     "FORMAT_VERSION",
@@ -85,6 +88,12 @@ class ArtifactError(Exception):
 
 class ArtifactMismatch(ArtifactError):
     """An artifact that does not match the graph it is being used for."""
+
+
+class ArtifactCorrupt(ArtifactError):
+    """An artifact whose array payload is truncated or corrupted (a
+    torn write, a bad disk, a failed checksum); the message names the
+    bad array or file."""
 
 
 def _variant_names() -> tuple:
@@ -194,6 +203,42 @@ class OracleArtifact:
                 f"queried graph hashes to {got[:12]}… — rebuild the "
                 "artifact (repro build-oracle) before serving this graph"
             )
+
+    def verify(self) -> List[str]:
+        """Check every array against the manifest's per-array SHA-256
+        checksums; returns the verified array names in sorted order.
+
+        Raises :class:`ArtifactCorrupt` naming the first array whose
+        bytes do not hash to the recorded digest (a bit flip the lazy
+        load cannot see), or whose digest the manifest never recorded;
+        :class:`ArtifactError` when the manifest predates checksums
+        (re-save the artifact to add them).
+        """
+        checksums = self.manifest.get("checksums")
+        if not isinstance(checksums, dict) or not checksums:
+            raise ArtifactError(
+                "manifest records no per-array checksums (the artifact "
+                "predates them); re-save or rebuild it to make "
+                "verification possible"
+            )
+        verified = []
+        for name in sorted(self.arrays):
+            expected = checksums.get(name)
+            if expected is None:
+                raise ArtifactCorrupt(
+                    f"manifest records no checksum for array {name!r} — "
+                    "the array set and the manifest disagree"
+                )
+            got = _array_digest(np.asarray(self.arrays[name]))
+            if got != expected:
+                raise ArtifactCorrupt(
+                    f"array {name!r} fails its checksum (manifest "
+                    f"{str(expected)[:12]}…, payload hashes to "
+                    f"{got[:12]}…) — the artifact is corrupted; rebuild "
+                    "it (repro build-oracle)"
+                )
+            verified.append(name)
+        return verified
 
     def nbytes(self) -> int:
         """Total array payload size in bytes."""
@@ -330,29 +375,137 @@ _KIND_ARRAYS = {
 }
 
 
-def save_artifact(artifact: OracleArtifact, path: str) -> None:
-    """Write an artifact directory in the current format.
+def _array_digest(arr: np.ndarray) -> str:
+    """SHA-256 over an array's dtype, shape, and raw bytes (what the
+    manifest's ``checksums`` record and :meth:`OracleArtifact.verify`
+    recompute)."""
+    a = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(a.dtype.str.encode())
+    h.update(repr(a.shape).encode())
+    try:
+        h.update(memoryview(a).cast("B"))
+    except (TypeError, ValueError):
+        h.update(a.tobytes())
+    return h.hexdigest()
 
-    ``manifest.json`` + ``arrays.npz``, with matrix/sources estimate
-    payloads split out to an uncompressed ``estimates.npy`` so they can
-    be memory-mapped on load.  The written manifest is normalized to
-    :data:`FORMAT_VERSION` (re-saving a version-1 artifact upgrades it);
-    the in-memory ``artifact`` is not mutated.
+
+def _fsync_fh(fh) -> None:
+    fh.flush()
+    os.fsync(fh.fileno())
+
+
+def _fsync_dir(path: str) -> None:
+    """fsync a directory so its entries survive a crash (best-effort on
+    platforms without directory fds)."""
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _sibling_workdirs(path: str):
+    """Existing ``<path>.tmp-*`` / ``<path>.old-*`` sibling directories
+    (in-progress or interrupted saves for this artifact path)."""
+    target = os.path.abspath(path)
+    parent, base = os.path.dirname(target), os.path.basename(target)
+    if not os.path.isdir(parent):
+        return
+    for entry in os.listdir(parent):
+        if entry.startswith(base + ".tmp-") or entry.startswith(base + ".old-"):
+            yield os.path.join(parent, entry)
+
+
+def _reap_workdirs(path: str) -> None:
+    """Remove leftover tmp/old sibling directories from interrupted
+    saves.  Artifact paths are single-writer (a concurrent save to the
+    same path was already a race on the final rename)."""
+    for stale in _sibling_workdirs(path):
+        shutil.rmtree(stale, ignore_errors=True)
+
+
+def save_artifact(artifact: OracleArtifact, path: str) -> None:
+    """Write an artifact directory crash-safely in the current format.
+
+    The payload (``manifest.json`` + ``arrays.npz``, with matrix/sources
+    estimates split out to an uncompressed, mmap-able ``estimates.npy``)
+    is staged in a ``<path>.tmp-<pid>`` sibling directory, every file is
+    fsynced, and the staged directory is atomically renamed into place —
+    an interrupt at *any* point leaves either the previous artifact or
+    no artifact, never a half-written directory that ``load_artifact``
+    accepts.  Leftover tmp directories from interrupted saves are reaped
+    on the next save to the same path.  The written manifest is
+    normalized to :data:`FORMAT_VERSION` and gains per-array SHA-256
+    ``checksums`` (what ``repro verify-artifact`` /
+    :meth:`OracleArtifact.verify` check); the in-memory ``artifact`` is
+    not mutated.
     """
-    os.makedirs(path, exist_ok=True)
+    path = os.path.abspath(path)
+    _reap_workdirs(path)
+    tmp = f"{path}.tmp-{os.getpid()}"
     manifest = dict(artifact.manifest)
     manifest["format_version"] = FORMAT_VERSION
-    with open(os.path.join(path, MANIFEST_NAME), "w") as fh:
-        json.dump(manifest, fh, indent=2, sort_keys=True)
-        fh.write("\n")
     arrays = dict(artifact.arrays)
     estimates = arrays.pop(_MMAP_KEY, None)
     if estimates is not None:
-        np.save(
-            os.path.join(path, ESTIMATES_NAME),
-            np.ascontiguousarray(estimates, dtype=np.float64),
-        )
-    np.savez_compressed(os.path.join(path, ARRAYS_NAME), **arrays)
+        estimates = np.ascontiguousarray(estimates, dtype=np.float64)
+    checksums = {name: _array_digest(a) for name, a in arrays.items()}
+    if estimates is not None:
+        checksums[_MMAP_KEY] = _array_digest(estimates)
+    manifest["checksums"] = checksums
+    os.makedirs(tmp)
+    try:
+        FAULTS.fire("artifact.save", stage="begin")
+        if estimates is not None:
+            with open(os.path.join(tmp, ESTIMATES_NAME), "wb") as fh:
+                np.save(fh, estimates)
+                _fsync_fh(fh)
+        FAULTS.fire("artifact.save", stage="estimates")
+        with open(os.path.join(tmp, ARRAYS_NAME), "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            _fsync_fh(fh)
+        FAULTS.fire("artifact.save", stage="arrays")
+        # The manifest is written last: a staged directory is complete
+        # exactly when its manifest exists.
+        with open(os.path.join(tmp, MANIFEST_NAME), "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            _fsync_fh(fh)
+        FAULTS.fire("artifact.save", stage="manifest")
+        _fsync_dir(tmp)
+    except BaseException:
+        # An in-process failure cleans its staging up; a hard crash
+        # leaves the tmp dir for the next save's reap.  Either way the
+        # final path was never touched.
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    FAULTS.fire("artifact.save", stage="rename")
+    if os.path.isdir(path):
+        # Swap: move the old artifact aside, rename the staged one in,
+        # then drop the old.  A failure between the renames rolls the
+        # old artifact back, so the path never dangles half-written.
+        old = f"{path}.old-{os.getpid()}"
+        shutil.rmtree(old, ignore_errors=True)
+        os.rename(path, old)
+        try:
+            FAULTS.fire("artifact.save", stage="swap")
+            os.rename(tmp, path)
+        except BaseException:
+            if not os.path.exists(path):
+                os.rename(old, path)
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        shutil.rmtree(old, ignore_errors=True)
+    else:
+        os.rename(tmp, path)
+    _fsync_dir(os.path.dirname(path))
 
 
 def _validate_manifest(manifest: Dict[str, object], path: str) -> None:
@@ -408,6 +561,7 @@ def load_artifact(
     path: str,
     expected_graph: Optional[AnyGraph] = None,
     mmap: bool = False,
+    verify: bool = False,
 ) -> OracleArtifact:
     """Read an artifact directory back, validating version, completeness,
     the parameter echo, and (optionally) the graph fingerprint.
@@ -418,11 +572,20 @@ def load_artifact(
     resident.  Version-1 artifacts (estimates inside the compressed
     npz) cannot be mapped and fall back to a full load.
 
+    Truncated or undecodable arrays (a torn write, a bad disk) raise
+    :class:`ArtifactCorrupt` naming the bad array instead of leaking a
+    numpy/zipfile traceback; ``verify=True`` additionally recomputes
+    every array's SHA-256 against the manifest's ``checksums`` (the
+    ``repro verify-artifact`` path — it catches bit flips a structural
+    load cannot see).  Leftover ``<path>.tmp-*`` staging directories
+    from interrupted saves are ignored: only the final path is read.
+
     Raises :class:`ArtifactError` on missing/malformed files, a newer
     format version, or a parameter echo outside the variant's schema;
     :class:`ArtifactMismatch` when ``expected_graph`` does not hash to
     the manifest's ``graph_hash``.
     """
+    FAULTS.fire("artifact.load")
     manifest_path = os.path.join(path, MANIFEST_NAME)
     arrays_path = os.path.join(path, ARRAYS_NAME)
     if not os.path.isfile(manifest_path) or not os.path.isfile(arrays_path):
@@ -439,20 +602,44 @@ def load_artifact(
     kind = str(manifest["kind"])
     if kind not in _KIND_ARRAYS:
         raise ArtifactError(f"unknown artifact kind {kind!r} in {path!r}")
-    with np.load(arrays_path, allow_pickle=False) as data:
-        arrays = {key: data[key] for key in data.files}
+    arrays: Dict[str, np.ndarray] = {}
+    try:
+        with np.load(arrays_path, allow_pickle=False) as data:
+            for key in data.files:
+                try:
+                    arrays[key] = data[key]
+                except Exception as exc:
+                    raise ArtifactCorrupt(
+                        f"array {key!r} in {arrays_path!r} is truncated "
+                        f"or corrupted ({exc}); rebuild the artifact"
+                    )
+    except (ArtifactError, ArtifactCorrupt):
+        raise
+    except Exception as exc:
+        raise ArtifactCorrupt(
+            f"unreadable array payload {arrays_path!r} ({exc}); "
+            "rebuild the artifact"
+        )
     estimates_path = os.path.join(path, ESTIMATES_NAME)
     if os.path.isfile(estimates_path):
-        arrays[_MMAP_KEY] = np.load(
-            estimates_path, mmap_mode="r" if mmap else None,
-            allow_pickle=False,
-        )
+        try:
+            arrays[_MMAP_KEY] = np.load(
+                estimates_path, mmap_mode="r" if mmap else None,
+                allow_pickle=False,
+            )
+        except Exception as exc:
+            raise ArtifactCorrupt(
+                f"array 'estimates' ({estimates_path!r}) is truncated "
+                f"or corrupted ({exc}); rebuild the artifact"
+            )
     for key in _KIND_ARRAYS[kind]:
         if key not in arrays:
             raise ArtifactError(
                 f"artifact {path!r} ({kind}) is missing array {key!r}"
             )
     artifact = OracleArtifact(manifest=manifest, arrays=arrays)
+    if verify:
+        artifact.verify()
     if expected_graph is not None:
         artifact.check_graph(expected_graph)
     return artifact

@@ -1,0 +1,195 @@
+"""A resilient HTTP client for the oracle serving endpoint.
+
+:class:`OracleClient` wraps the stdlib ``urllib`` with the retry
+discipline the serving stack's failure semantics call for (DESIGN.md
+§7): a ``503`` (shed load, draining instance) or a dropped connection
+is **transient** — the request is retried with exponential backoff and
+jitter, honoring the server's ``Retry-After`` hint when it sends one —
+while every other status is **definitive** and returned to the caller
+as-is (a ``400`` will not become a ``200`` by retrying it).  The CLI's
+``repro query --url`` runs on this client, and it is the piece a
+load-generation harness points at a fleet.
+
+No new dependencies: ``urllib.request`` + ``json`` only.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ClientRetriesExhausted", "OracleClient", "OracleClientError"]
+
+
+class OracleClientError(Exception):
+    """A client-side failure talking to the serving endpoint."""
+
+
+class ClientRetriesExhausted(OracleClientError):
+    """Every attempt failed on a *transient* condition (connection
+    reset/refused, timeout); carries the attempt count and last cause."""
+
+    def __init__(self, message: str, attempts: int, last_error: Exception):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+#: Transport-level exceptions worth retrying: the connection died or was
+#: never made — nothing definitive was received.
+_TRANSIENT_ERRORS = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    BrokenPipeError,
+    TimeoutError,
+)
+
+
+class OracleClient:
+    """Retrying JSON client for one serving base URL.
+
+    ``max_attempts`` bounds total tries (first call + retries);
+    backoff doubles from ``backoff_s`` up to ``backoff_cap_s`` with
+    ``jitter`` (a fraction of the delay, randomized to decorrelate a
+    retrying fleet).  A ``503`` response's ``Retry-After`` header (or
+    ``retry_after`` body hint) overrides the computed backoff.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        max_attempts: int = 4,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        jitter: float = 0.1,
+        timeout_s: float = 30.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.base_url = base_url.rstrip("/")
+        self.max_attempts = int(max_attempts)
+        self.backoff_s = float(backoff_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.jitter = float(jitter)
+        self.timeout_s = float(timeout_s)
+        self._rng = rng or random.Random()
+        self.retries = 0  # total retries performed (introspection)
+
+    # ------------------------------------------------------------------
+    def query(
+        self, request: Dict[str, object], name: Optional[str] = None
+    ) -> Tuple[int, Dict[str, object]]:
+        """POST one request dict to ``/query[/<name>]``; returns
+        ``(status, body)`` after retrying transient failures."""
+        path = "/query" if name is None else f"/query/{name}"
+        return self._call("POST", path, request)
+
+    def info(self, name: Optional[str] = None) -> Tuple[int, Dict[str, object]]:
+        """GET ``/info[/<name>]``."""
+        path = "/info" if name is None else f"/info/{name}"
+        return self._call("GET", path, None)
+
+    def healthz(self) -> Tuple[int, Dict[str, object]]:
+        """GET ``/healthz`` (no retries — health must reflect now)."""
+        return self._once("GET", "/healthz", None)
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, method: str, path: str, payload: Optional[Dict[str, object]]
+    ) -> Tuple[int, Dict[str, object]]:
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.max_attempts + 1):
+            retry_after: Optional[float] = None
+            try:
+                status, body, headers = self._roundtrip(method, path, payload)
+                if status != 503:
+                    return status, body
+                # Shed load / draining: transient by contract.
+                if attempt >= self.max_attempts:
+                    return status, body
+                retry_after = _retry_after_hint(headers, body)
+                last_error = None
+            except _TRANSIENT_ERRORS as exc:
+                last_error = exc
+            except urllib.error.URLError as exc:
+                if isinstance(exc.reason, _TRANSIENT_ERRORS):
+                    last_error = exc
+                else:
+                    raise OracleClientError(
+                        f"{method} {self.base_url}{path} failed: {exc}"
+                    )
+            if attempt >= self.max_attempts:
+                break
+            self.retries += 1
+            time.sleep(self._delay(attempt, retry_after))
+        raise ClientRetriesExhausted(
+            f"{method} {self.base_url}{path} failed after "
+            f"{self.max_attempts} attempts: {last_error}",
+            attempts=self.max_attempts,
+            last_error=last_error
+            if last_error is not None
+            else OracleClientError("server kept shedding load (503)"),
+        )
+
+    def _once(
+        self, method: str, path: str, payload
+    ) -> Tuple[int, Dict[str, object]]:
+        try:
+            status, body, _ = self._roundtrip(method, path, payload)
+        except urllib.error.URLError as exc:
+            raise OracleClientError(
+                f"{method} {self.base_url}{path} failed: {exc}"
+            )
+        return status, body
+
+    def _roundtrip(self, method, path, payload):
+        data = None if payload is None else json.dumps(payload).encode()
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, _json_body(resp.read()), resp.headers
+        except urllib.error.HTTPError as exc:
+            # A JSON error body is a *response*, not a transport failure.
+            return exc.code, _json_body(exc.read()), exc.headers
+
+    def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
+        if retry_after is not None:
+            base = max(0.0, retry_after)
+        else:
+            base = min(
+                self.backoff_cap_s, self.backoff_s * (2 ** (attempt - 1))
+            )
+        spread = base * self.jitter
+        return max(0.0, base + self._rng.uniform(-spread, spread))
+
+
+def _retry_after_hint(headers, body) -> Optional[float]:
+    """The server's retry hint: the ``Retry-After`` header, else the
+    JSON body's ``retry_after``, else None (computed backoff)."""
+    value = headers.get("Retry-After") if headers is not None else None
+    if value is None and isinstance(body, dict):
+        value = body.get("retry_after")
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _json_body(raw: bytes) -> Dict[str, object]:
+    try:
+        body = json.loads(raw or b"{}")
+    except json.JSONDecodeError:
+        return {"error": f"non-JSON response body: {raw[:200]!r}"}
+    return body if isinstance(body, dict) else {"response": body}

@@ -47,6 +47,7 @@ import numpy as np
 from ..analysis.stretch import StretchReport, evaluate_stretch
 from ..graph.graph import Graph, WeightedGraph
 from .artifact import ArtifactError, OracleArtifact, load_artifact
+from .faults import FAULTS
 
 __all__ = ["DistanceOracle", "QueryCertificate", "DEFAULT_CACHE_SIZE"]
 
@@ -210,6 +211,7 @@ class DistanceOracle:
     ) -> np.ndarray:
         """Vectorized distances for parallel index arrays ``us`` / ``vs``
         (bypasses the cache; one kernel pass for the whole batch)."""
+        FAULTS.fire("engine.query_batch")
         us = np.asarray(us, dtype=np.int64)
         vs = np.asarray(vs, dtype=np.int64)
         if us.shape != vs.shape or us.ndim != 1:

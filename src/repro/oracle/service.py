@@ -12,30 +12,63 @@ single-oracle surface (bare ``POST /query`` works, ``/info`` carries
 the legacy top-level ``manifest``/``stats`` keys), so existing clients
 are unaffected.
 
+Every request now runs through the resilience layer
+(:mod:`repro.oracle.resilience`):
+
+* **admission control** — each mounted service holds a bounded
+  in-flight counter; over-limit requests get ``503`` with a
+  ``retry_after`` hint (and HTTP ``Retry-After``) instead of queueing;
+* **deadlines** — a request's ``timeout_ms`` (capped at the server
+  max, defaulting to the server default) becomes a cooperative
+  deadline; batched distance queries are answered ``batch_chunk`` pairs
+  per vectorized pass with a deadline check between, so expiry returns
+  ``504`` with partial-progress stats;
+* **payload bounds** — batches beyond ``max_batch`` and HTTP bodies
+  beyond ``max_body_bytes`` are rejected with ``413``;
+* **graceful drain** — SIGTERM/SIGINT flips ``/healthz`` to
+  ``{"ok": false, "draining": true}`` (load balancers eject the
+  instance), new queries get ``503``, in-flight requests finish up to
+  the drain deadline, then the process exits 0.
+
 The HTTP layer is a ``http.server.ThreadingHTTPServer`` (no new
 dependencies): ``POST /query[/<name>]`` with a JSON body,
 ``GET /info[/<name>]`` and ``GET /healthz``.  Requests batch naturally:
-a ``pairs`` list (or parallel ``us`` / ``vs`` arrays) is answered by one
-vectorized engine pass.
+a ``pairs`` list (or parallel ``us`` / ``vs`` arrays) is answered
+chunk by chunk in vectorized engine passes.
 
 JSON has no ``Infinity``, so unreachable distances serialize as
 ``null``; the response's ``unreachable`` count makes that explicit.
-Errors are graceful: malformed JSON, unknown ops, unknown artifact
-names, out-of-range vertices and stale/mismatched artifacts all produce
-a ``4xx``/``409`` with an ``"error"`` message instead of a traceback.
+Errors are graceful and typed: malformed JSON, unknown ops, unknown
+artifact names, out-of-range vertices, stale artifacts, corrupt
+payloads, blown deadlines and shed load all produce a JSON ``"error"``
+with a meaningful status (``4xx``/``409``/``413``/``503``/``504``)
+instead of a traceback; a client that disconnects mid-response is
+counted, not crashed on.  DESIGN.md §7 tabulates the full mapping.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .artifact import ArtifactError, ArtifactMismatch
+from .artifact import ArtifactCorrupt, ArtifactError, ArtifactMismatch
 from .engine import DistanceOracle
+from .faults import FAULTS
+from .resilience import (
+    DEFAULT_LIMITS,
+    AdmissionController,
+    AdmissionRejected,
+    Deadline,
+    DeadlineExceeded,
+    ServingLimits,
+)
 
 __all__ = [
     "OracleRouter",
@@ -52,10 +85,27 @@ def _clean(value: float) -> Optional[float]:
 
 
 class OracleService:
-    """JSON request/response semantics over a :class:`DistanceOracle`."""
+    """JSON request/response semantics over a :class:`DistanceOracle`.
 
-    def __init__(self, oracle: DistanceOracle):
+    ``limits`` bounds the request lifecycle (in-flight requests, batch
+    size, deadlines); the default :data:`~repro.oracle.resilience.DEFAULT_LIMITS`
+    keeps the historical behaviour for direct callers (no deadline
+    unless the request asks for one, generous bounds).
+    """
+
+    def __init__(
+        self,
+        oracle: DistanceOracle,
+        limits: Optional[ServingLimits] = None,
+    ):
         self.oracle = oracle
+        self.limits = limits or DEFAULT_LIMITS
+        self.admission = AdmissionController(
+            self.limits.max_inflight, retry_after=self.limits.retry_after_s
+        )
+        self._stats_lock = threading.Lock()
+        self._deadline_exceeded = 0
+        self._over_limit = 0
 
     # ------------------------------------------------------------------
     def handle(self, request: object) -> Tuple[int, Dict[str, object]]:
@@ -63,34 +113,79 @@ class OracleService:
 
         Ops: ``distance`` (default; single ``u``/``v``, parallel
         ``us``/``vs`` arrays, or a ``pairs`` list), ``certificate``,
-        ``path``, ``info``.
+        ``path``, ``info``.  A numeric ``timeout_ms`` in the request
+        arms a deadline (capped at the server max).  Every failure maps
+        to a typed JSON error — never an exception out of this method.
         """
         if not isinstance(request, dict):
             return 400, {"error": "request body must be a JSON object"}
-        op = request.get("op", "distance")
         try:
-            if op == "distance":
-                return self._distance(request)
-            if op == "certificate":
-                return self._certificate(request)
-            if op == "path":
-                return self._path(request)
-            if op == "info":
-                return 200, self.info()
-            return 400, {
-                "error": f"unknown op {op!r}; expected one of "
-                "'distance', 'certificate', 'path', 'info'"
+            with self.admission.admit():
+                FAULTS.fire("service.handle")
+                deadline = Deadline.resolve(
+                    request.get("timeout_ms"),
+                    self.limits.default_timeout_ms,
+                    self.limits.max_timeout_ms,
+                )
+                return self._dispatch(request, deadline)
+        except AdmissionRejected as exc:
+            return 503, {
+                "error": str(exc),
+                "retry_after": exc.retry_after,
+                "inflight": exc.inflight,
             }
+        except DeadlineExceeded as exc:
+            with self._stats_lock:
+                self._deadline_exceeded += 1
+            body: Dict[str, object] = {
+                "error": str(exc),
+                "timeout_ms": exc.timeout_ms,
+            }
+            if exc.progress is not None:
+                body["progress"] = exc.progress
+            return 504, body
         except ArtifactMismatch as exc:
             return 409, {"error": str(exc)}
+        except ArtifactCorrupt as exc:
+            return 500, {"error": str(exc)}
         except (ArtifactError, IndexError, ValueError, TypeError) as exc:
             return 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — keep serving threads alive
+            return 500, {
+                "error": f"internal error: {type(exc).__name__}: {exc}"
+            }
+
+    def _dispatch(self, request, deadline):
+        op = request.get("op", "distance")
+        if op == "distance":
+            # Batched distances check the deadline between chunks (the
+            # 504 carries partial-progress stats), so no entry check.
+            return self._distance(request, deadline)
+        if deadline is not None:
+            deadline.check()
+        if op == "certificate":
+            return self._certificate(request)
+        if op == "path":
+            return self._path(request)
+        if op == "info":
+            return 200, self.info()
+        return 400, {
+            "error": f"unknown op {op!r}; expected one of "
+            "'distance', 'certificate', 'path', 'info'"
+        }
 
     def info(self) -> Dict[str, object]:
         """Manifest plus live serving counters."""
+        with self._stats_lock:
+            resilience = {
+                "deadline_exceeded": self._deadline_exceeded,
+                "over_limit": self._over_limit,
+            }
+        resilience.update(self.admission.stats())
         return {
             "manifest": dict(self.oracle.artifact.manifest),
             "stats": self.oracle.stats(),
+            "serving": resilience,
         }
 
     # ------------------------------------------------------------------
@@ -115,17 +210,40 @@ class OracleService:
             raise ValueError("query needs 'u' and 'v' (or 'pairs'/'us'+'vs')")
         return int(request["u"]), int(request["v"])
 
-    def _distance(self, request):
+    def _distance(self, request, deadline=None):
         batch = self._batch_indices(request)
         if batch is not None:
             us, vs = batch
-            values = self.oracle.query_batch(us, vs)
+            if us.size > self.limits.max_batch:
+                with self._stats_lock:
+                    self._over_limit += 1
+                return 413, {
+                    "error": f"batch of {us.size} pairs exceeds this "
+                    f"server's max_batch={self.limits.max_batch}; split "
+                    "the request",
+                    "max_batch": self.limits.max_batch,
+                }
+            values = np.empty(us.size, dtype=np.float64)
+            chunk = max(1, int(self.limits.batch_chunk))
+            completed = 0
+            for start in range(0, int(us.size), chunk):
+                if deadline is not None:
+                    deadline.check(
+                        {"completed": completed, "total": int(us.size)}
+                    )
+                end = min(start + chunk, int(us.size))
+                values[start:end] = self.oracle.query_batch(
+                    us[start:end], vs[start:end]
+                )
+                completed = end
             return 200, {
                 "distances": [_clean(x) for x in values],
                 "count": int(values.size),
                 "unreachable": int(np.sum(~np.isfinite(values))),
             }
         u, v = self._single_indices(request)
+        if deadline is not None:
+            deadline.check()
         return 200, {"u": u, "v": v, "distance": _clean(self.oracle.query(u, v))}
 
     def _certificate(self, request):
@@ -157,6 +275,11 @@ class OracleService:
 # Multi-artifact routing
 # ----------------------------------------------------------------------
 
+#: Mount options accepted by :meth:`OracleRouter.load` (the
+#: ``--artifact NAME=PATH,key=value`` surface).
+_MOUNT_OPTIONS = ("cache_size",)
+
+
 class OracleRouter:
     """Serve many named artifacts from one process.
 
@@ -171,7 +294,12 @@ class OracleRouter:
         self._services: "OrderedDict[str, OracleService]" = OrderedDict()
 
     # ------------------------------------------------------------------
-    def mount(self, name: str, oracle: DistanceOracle) -> None:
+    def mount(
+        self,
+        name: str,
+        oracle: DistanceOracle,
+        limits: Optional[ServingLimits] = None,
+    ) -> None:
         """Mount one oracle under ``name`` (a URL path segment)."""
         if not name or "/" in name:
             raise ArtifactError(
@@ -182,24 +310,48 @@ class OracleRouter:
                 f"artifact name {name!r} is already mounted; names must "
                 "be unique (use --artifact NAME=PATH to disambiguate)"
             )
-        self._services[name] = OracleService(oracle)
+        self._services[name] = OracleService(oracle, limits=limits)
 
     @classmethod
     def load(
         cls,
-        artifacts: Iterable[Tuple[Optional[str], str]],
+        artifacts: Iterable[Tuple],
         mmap: bool = False,
         cache_size: Optional[int] = None,
+        limits: Optional[ServingLimits] = None,
     ) -> "OracleRouter":
-        """Build a router from ``(name, path)`` pairs.
+        """Build a router from ``(name, path)`` or
+        ``(name, path, options)`` tuples.
 
         ``name=None`` defaults to the artifact's manifest ``variant``
-        (duplicate defaults fail loudly — name them explicitly)."""
+        (duplicate defaults fail loudly — name them explicitly).  The
+        per-mount ``options`` dict overrides serving knobs for that
+        artifact alone — today ``cache_size`` (the CLI spells it
+        ``--artifact NAME=PATH,cache_size=N``); unknown options fail
+        loudly.  ``cache_size``/``limits`` apply to every mount that
+        does not override them."""
         router = cls()
-        for name, path in artifacts:
-            kwargs = {} if cache_size is None else {"cache_size": cache_size}
+        for item in artifacts:
+            if len(item) == 3:
+                name, path, options = item
+            else:
+                name, path = item
+                options = None
+            options = dict(options or {})
+            mount_cache = options.pop("cache_size", cache_size)
+            if options:
+                raise ArtifactError(
+                    f"unknown mount option(s) {sorted(options)} for "
+                    f"artifact {name or path!r}; supported: "
+                    f"{list(_MOUNT_OPTIONS)}"
+                )
+            kwargs = {} if mount_cache is None else {
+                "cache_size": int(mount_cache)
+            }
             oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
-            router.mount(name or oracle.artifact.variant, oracle)
+            router.mount(
+                name or oracle.artifact.variant, oracle, limits=limits
+            )
         return router
 
     # ------------------------------------------------------------------
@@ -209,6 +361,10 @@ class OracleRouter:
 
     def service(self, name: str) -> Optional[OracleService]:
         return self._services.get(name)
+
+    def services(self) -> Tuple[OracleService, ...]:
+        """Every mounted service (the drain loop walks these)."""
+        return tuple(self._services.values())
 
     def _resolve(
         self, name: Optional[str]
@@ -267,10 +423,63 @@ class OracleRouter:
 # ----------------------------------------------------------------------
 
 class OracleHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server carrying an :class:`OracleRouter`."""
+    """A threading HTTP server carrying an :class:`OracleRouter`.
+
+    Adds the process-level resilience state: the ``draining`` flag
+    (SIGTERM flips it; ``/healthz`` reports it; new queries are shed),
+    the client-disconnect counter, and :meth:`drain_and_shutdown` —
+    the graceful-exit sequence.
+    """
 
     daemon_threads = True
     router: OracleRouter
+    limits: ServingLimits
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.limits = DEFAULT_LIMITS
+        self.draining = False
+        self._http_lock = threading.Lock()
+        self._disconnects = 0
+        self._drain_started = False
+
+    # ------------------------------------------------------------------
+    def count_disconnect(self) -> None:
+        """Record a client that vanished mid-response."""
+        with self._http_lock:
+            self._disconnects += 1
+
+    def http_stats(self) -> Dict[str, object]:
+        """Transport-level counters (merged into ``GET /info``)."""
+        with self._http_lock:
+            return {
+                "client_disconnects": self._disconnects,
+                "draining": self.draining,
+            }
+
+    # ------------------------------------------------------------------
+    def drain_and_shutdown(self, timeout: Optional[float] = None) -> bool:
+        """The graceful exit: stop admitting, drain in-flight work up to
+        ``timeout`` (default ``limits.drain_timeout_s``), then stop the
+        accept loop.  Idempotent; returns True when every in-flight
+        request finished inside the budget.
+
+        Must not be called from the ``serve_forever`` thread
+        (``shutdown()`` would deadlock) — the signal handler runs it on
+        a helper thread.
+        """
+        with self._http_lock:
+            if self._drain_started:
+                return True
+            self._drain_started = True
+            self.draining = True
+        timeout = self.limits.drain_timeout_s if timeout is None else timeout
+        end = time.monotonic() + timeout
+        drained = True
+        for svc in self.router.services():
+            drained &= svc.admission.drain(max(0.0, end - time.monotonic()))
+        self.shutdown()
+        return drained
 
 
 def _split_route(path: str, prefix: str) -> Tuple[bool, Optional[str]]:
@@ -287,21 +496,48 @@ def _split_route(path: str, prefix: str) -> Tuple[bool, Optional[str]]:
 class _Handler(BaseHTTPRequestHandler):
     server: OracleHTTPServer
 
-    def _respond(self, status: int, body: Dict[str, object]) -> None:
+    def _respond(
+        self,
+        status: int,
+        body: Dict[str, object],
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
         payload = json.dumps(body).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            for key, value in headers:
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response: count it, drop the
+            # connection, keep the serving thread alive.
+            self.server.count_disconnect()
+            self.close_connection = True
+
+    def _respond_routed(self, status: int, body: Dict[str, object]) -> None:
+        """Respond to a routed (service-produced) result, attaching the
+        ``Retry-After`` header a shed request advertises in its body."""
+        headers = []
+        if status == 503 and "retry_after" in body:
+            headers.append(("Retry-After", f"{float(body['retry_after']):g}"))
+        self._respond(status, body, headers)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/healthz":
-            self._respond(200, {"ok": True})
+            if self.server.draining:
+                self._respond(503, {"ok": False, "draining": True})
+            else:
+                self._respond(200, {"ok": True})
             return
         matched, name = _split_route(self.path, "/info")
         if matched:
-            self._respond(*self.server.router.info(name))
+            status, body = self.server.router.info(name)
+            if status == 200 and name is None:
+                body["http"] = self.server.http_stats()
+            self._respond(status, body)
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
 
@@ -310,13 +546,59 @@ class _Handler(BaseHTTPRequestHandler):
         if not matched:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
             return
+        if self.server.draining:
+            retry = self.server.limits.retry_after_s
+            self._respond(
+                503,
+                {
+                    "error": "server is draining for shutdown; retry "
+                    "against another instance",
+                    "draining": True,
+                    "retry_after": retry,
+                },
+                headers=[("Retry-After", f"{retry:g}")],
+            )
+            return
+        raw_length = self.headers.get("Content-Length")
+        if raw_length is None:
+            self._respond(
+                411, {"error": "Content-Length header is required"}
+            )
+            return
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            request = json.loads(self.rfile.read(length) or b"{}")
+            length = int(raw_length)
+        except ValueError:
+            self._respond(
+                400,
+                {"error": f"malformed Content-Length {raw_length!r}"},
+            )
+            return
+        if length <= 0:
+            self._respond(
+                400,
+                {
+                    "error": f"Content-Length must be positive, got "
+                    f"{length} (send a JSON object body)"
+                },
+            )
+            return
+        if length > self.server.limits.max_body_bytes:
+            self._respond(
+                413,
+                {
+                    "error": f"request body of {length} bytes exceeds "
+                    f"this server's max_body_bytes="
+                    f"{self.server.limits.max_body_bytes}",
+                    "max_body_bytes": self.server.limits.max_body_bytes,
+                },
+            )
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
         except (ValueError, json.JSONDecodeError) as exc:
             self._respond(400, {"error": f"malformed JSON request: {exc}"})
             return
-        self._respond(*self.server.router.handle(request, name))
+        self._respond_routed(*self.server.router.handle(request, name))
 
     def log_message(self, fmt, *args) -> None:  # quiet by default
         pass
@@ -326,36 +608,52 @@ def make_server(
     oracle: Union[DistanceOracle, OracleRouter],
     host: str = "127.0.0.1",
     port: int = 0,
+    limits: Optional[ServingLimits] = None,
 ) -> OracleHTTPServer:
     """Build (but do not start) the HTTP server for one oracle or a
     whole router; ``port=0`` picks a free port
-    (``server.server_address`` reports the bound one)."""
+    (``server.server_address`` reports the bound one).  ``limits``
+    bounds the HTTP body size and the drain budget (and, when the
+    router is built here from a bare oracle, its request lifecycle)."""
     if isinstance(oracle, OracleRouter):
         router = oracle
     else:
         router = OracleRouter()
-        router.mount(oracle.artifact.variant, oracle)
+        router.mount(oracle.artifact.variant, oracle, limits=limits)
     server = OracleHTTPServer((host, port), _Handler)
     server.router = router
+    server.limits = limits or DEFAULT_LIMITS
     return server
 
 
 def serve(
-    artifacts: Union[str, Sequence[Tuple[Optional[str], str]]],
+    artifacts: Union[str, Sequence[Tuple]],
     host: str = "127.0.0.1",
     port: int = 8080,
     mmap: bool = False,
+    cache_size: Optional[int] = None,
+    limits: Optional[ServingLimits] = None,
+    install_signal_handlers: bool = True,
 ) -> None:
     """Load one or many artifacts and serve them forever (the
     ``repro serve`` body).
 
     ``artifacts`` is a single artifact-directory path, or a sequence of
-    ``(name, path)`` pairs (``name=None`` defaults to the manifest
-    variant) for multi-artifact routing."""
+    ``(name, path)`` / ``(name, path, options)`` tuples (``name=None``
+    defaults to the manifest variant) for multi-artifact routing with
+    per-mount overrides.
+
+    SIGTERM/SIGINT (when handlers can be installed — main thread only)
+    triggers the graceful drain: ``/healthz`` flips to draining, new
+    queries are shed with ``503``, in-flight requests finish up to
+    ``limits.drain_timeout_s``, and the function returns (exit 0).
+    """
     if isinstance(artifacts, str):
         artifacts = [(None, artifacts)]
-    router = OracleRouter.load(artifacts, mmap=mmap)
-    server = make_server(router, host=host, port=port)
+    router = OracleRouter.load(
+        artifacts, mmap=mmap, cache_size=cache_size, limits=limits
+    )
+    server = make_server(router, host=host, port=port, limits=limits)
     bound_host, bound_port = server.server_address[:2]
     base = f"http://{bound_host}:{bound_port}"
     for name in router.names:
@@ -367,9 +665,29 @@ def serve(
     if len(router.names) == 1:
         print(f"single artifact: bare {base}/query also routes to it")
     print(f"GET {base}/info (merged), GET {base}/healthz")
+
+    if (
+        install_signal_handlers
+        and threading.current_thread() is threading.main_thread()
+    ):
+        def _graceful(signum, frame):
+            # shutdown() deadlocks if called from the serve_forever
+            # thread, and a signal handler interrupts exactly that
+            # thread — hand the drain to a helper.
+            threading.Thread(
+                target=server.drain_and_shutdown,
+                name="oracle-drain",
+                daemon=True,
+            ).start()
+
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+    if server.draining:
+        print("drained in-flight requests; shutting down")
