@@ -1,0 +1,245 @@
+"""E20 — serving front ends under concurrency: threaded vs async (DESIGN.md §6).
+
+ISSUE 4/E19 measured the *engine* gap: one vectorized ``query_batch``
+answers 45–244x more queries per second than a single-query loop.  A
+fleet of independent clients cannot exploit that — each sends one
+``{"u", "v"}`` at a time — so the serving layer must manufacture the
+batches itself.  This benchmark measures exactly that conversion: the
+same matrix artifact served by both front ends (``threaded``: one
+TCP connection + one handler thread per request; ``async``: keep-alive
+connections + request coalescing), hammered by ``C`` closed-loop worker
+threads, each with its own keep-alive :class:`repro.oracle.OracleClient`
+and a deterministic query slice.
+
+Reported per (frontend, concurrency): sustained q/s and p50/p99
+latency, plus the async coalescer's mean flushed batch size.  The
+run asserts every per-query answer is **bit-identical** across the two
+front ends — coalescing must not change a single result.
+
+Writes ``benchmarks/results/E20.{txt,json}`` and merges a
+``serving_frontend`` key into the repo-root ``BENCH_kernels.json``.
+Runnable directly (``python benchmarks/bench_serving.py``; ``--quick``
+for the file-free CI smoke) or through the pytest entry point, which
+enforces the ISSUE 7 acceptance floor: at concurrency 64 the async
+front end sustains >= 3x the threaded front end's single-query q/s.
+"""
+
+import dataclasses
+import json
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import record_experiment  # noqa: E402
+from repro import oracle  # noqa: E402
+from repro.analysis import format_table  # noqa: E402
+from repro.graph import generators as gen  # noqa: E402
+
+N = 512
+CONCURRENCY = (4, 16, 64)
+QUERIES_PER_WORKER = 40
+ROOT_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+
+#: Admission must never shed load here — the benchmark measures
+#: throughput, not the 503 path (that's the chaos suite's job).
+_LIMITS = dataclasses.replace(oracle.DEFAULT_LIMITS, max_inflight=4096)
+
+
+def _build_engine(n=N):
+    g = gen.make_family("er_sparse", n, seed=61)
+    artifact = oracle.build_oracle(g, variant="exact")
+    return oracle.DistanceOracle(artifact, cache_size=0)
+
+
+def _worker_queries(worker, count, n):
+    rng = np.random.default_rng(7000 + worker)
+    return [(int(u), int(v)) for u, v in rng.integers(0, n, (count, 2))]
+
+
+def _start(frontend, engine):
+    """Returns ``(base_url, stop_callable, handle_or_server)``."""
+    if frontend == "async":
+        handle = oracle.start_async_server(engine, limits=_LIMITS)
+        base = "http://%s:%s" % handle.server_address[:2]
+        return base, handle.drain_and_shutdown, handle
+    server = oracle.make_server(engine, limits=_LIMITS)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = "http://%s:%s" % server.server_address[:2]
+
+    def stop():
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    return base, stop, server
+
+
+def _hammer(base, concurrency, per_worker, n):
+    """``concurrency`` closed-loop keep-alive clients, each replaying
+    its deterministic slice.  Returns (elapsed_s, latencies_ms, answers)
+    with ``answers[(worker, i)] = distance`` for the identity check."""
+    barrier = threading.Barrier(concurrency + 1)
+    latencies = [[] for _ in range(concurrency)]
+    answers = {}
+    errors = []
+
+    def work(w):
+        queries = _worker_queries(w, per_worker, n)
+        with oracle.OracleClient(base, timeout_s=60.0) as client:
+            barrier.wait()
+            for i, (u, v) in enumerate(queries):
+                t0 = time.perf_counter()
+                status, body = client.query({"u": u, "v": v})
+                latencies[w].append((time.perf_counter() - t0) * 1e3)
+                if status != 200:
+                    errors.append((w, i, status, body))
+                    return
+                answers[(w, i)] = body["distance"]
+
+    threads = [
+        threading.Thread(target=work, args=(w,)) for w in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise AssertionError(f"non-200 under load: {errors[:3]}")
+    return elapsed, [x for per in latencies for x in per], answers
+
+
+def bench_level(engine, concurrency, per_worker=QUERIES_PER_WORKER):
+    """One concurrency level, both front ends, identity-checked."""
+    out = []
+    answers = {}
+    for frontend in ("threaded", "async"):
+        base, stop, handle = _start(frontend, engine)
+        try:
+            elapsed, lats, answers[frontend] = _hammer(
+                base, concurrency, per_worker, engine.n
+            )
+            rec = {
+                "experiment": "serving_frontend",
+                "frontend": frontend,
+                "concurrency": concurrency,
+                "queries": concurrency * per_worker,
+                "qps": concurrency * per_worker / elapsed,
+                "p50_ms": float(np.percentile(lats, 50)),
+                "p99_ms": float(np.percentile(lats, 99)),
+            }
+            if frontend == "async":
+                stats = handle.router.services()[0].coalescer.stats()
+                rec["mean_batch"] = round(stats["mean_batch"], 2)
+        finally:
+            stop()
+        out.append(rec)
+    identical = answers["threaded"] == answers["async"]
+    for rec in out:
+        rec["identical_across_frontends"] = identical
+    return out
+
+
+def run(levels=CONCURRENCY, per_worker=QUERIES_PER_WORKER, engine=None):
+    engine = engine or _build_engine()
+    return [
+        rec
+        for c in levels
+        for rec in bench_level(engine, c, per_worker)
+    ]
+
+
+def _result_table(results):
+    rows = [
+        [
+            r["frontend"],
+            r["concurrency"],
+            r["queries"],
+            f"{r['qps']:.0f}",
+            f"{r['p50_ms']:.2f}",
+            f"{r['p99_ms']:.2f}",
+            f"{r.get('mean_batch', '-')}",
+            r["identical_across_frontends"],
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["frontend", "conc", "queries", "q/s", "p50 (ms)", "p99 (ms)",
+         "mean batch", "identical"],
+        rows,
+    )
+
+
+def _speedups(results):
+    by = {(r["frontend"], r["concurrency"]): r for r in results}
+    return {
+        c: by[("async", c)]["qps"] / by[("threaded", c)]["qps"]
+        for c in sorted({r["concurrency"] for r in results})
+    }
+
+
+def _update_root_json(results):
+    payload = {}
+    if os.path.exists(ROOT_JSON):
+        with open(ROOT_JSON) as fh:
+            payload = json.load(fh)
+    payload["serving_frontend"] = {
+        "results": results,
+        "async_speedup_by_concurrency": {
+            str(c): s for c, s in _speedups(results).items()
+        },
+    }
+    with open(ROOT_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def persist(results):
+    table = _result_table(results)
+    record_experiment(
+        "E20", "serving front ends under concurrency: threaded vs async",
+        table, payload=results,
+    )
+    for c, s in _speedups(results).items():
+        print(f"async speedup at concurrency {c}: {s:.1f}x")
+    _update_root_json(results)
+    return table
+
+
+def test_async_frontend_speedup():
+    """Acceptance (ISSUE 7): at concurrency 64 the async front end
+    sustains >= 3x the threaded front end's single-query q/s, with
+    bit-identical per-query results.  Wall-clock floors are
+    load-sensitive, so a miss retries once with a larger sample."""
+    engine = _build_engine()
+    results = run(engine=engine)
+    if _speedups(results)[64] < 3.0:
+        retry = bench_level(engine, 64, per_worker=2 * QUERIES_PER_WORKER)
+        results = [r for r in results if r["concurrency"] != 64] + retry
+    persist(results)
+    assert all(r["identical_across_frontends"] for r in results)
+    assert _speedups(results)[64] >= 3.0
+
+
+def smoke():
+    """File-free quick pass (CI's crash detector for both front ends)."""
+    engine = _build_engine(n=128)
+    results = run(levels=(8,), per_worker=10, engine=engine)
+    print(_result_table(results))
+    assert all(r["identical_across_frontends"] for r in results)
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        smoke()
+    else:
+        persist(run())

@@ -218,6 +218,56 @@ register_variant(VariantSpec(
     phases=("baseline:spanner-construction", "baseline:learn-spanner"),
 ))
 
+def _emulator_sssp_build(g, rng=None, eps=0.5, r=None, **_):
+    """The emulator-SSSP payload: store only the near-additive
+    emulator's edge list plus ``G``'s own unit edges (mirroring the
+    pipeline's fold-in) — O(emulator) storage instead of the O(n^2)
+    matrix; queries run SSSP over it (``oracle/engine.py``, ``edges``
+    kind).  Exact APSP over this edge set is sound (every stored weight
+    dominates the true distance) and within the cc construction's
+    ``(1 + eps', 2 beta)`` guarantee (it only tightens the pipeline's
+    one-pass fold-in), so the build shares ``near-additive``'s stretch
+    formula."""
+    if r is None:
+        r = EmulatorParams.default_r(g.n)
+    ledger = RoundLedger()
+    construction = emulator_construction("cc")
+    res = construction.build(g, eps, r, rng, ledger)
+    eu, ev, ew = res.emulator.edge_arrays()
+    ge = g.edges()
+    mult, add = construction.guarantee(res.params)
+    return VariantBuild(
+        arrays={
+            "emu_us": np.concatenate([eu, ge[:, 0]]).astype(np.int64),
+            "emu_vs": np.concatenate([ev, ge[:, 1]]).astype(np.int64),
+            "emu_ws": np.concatenate(
+                [ew, np.ones(ge.shape[0])]
+            ).astype(np.float64),
+        },
+        name="emulator-SSSP",
+        multiplicative=float(mult),
+        additive=float(add),
+        rounds_total=float(ledger.total),
+        rounds_breakdown=ledger.breakdown(),
+        stats={
+            "emulator_edges": int(eu.size),
+            "graph_edges": int(ge.shape[0]),
+        },
+    )
+
+
+register_variant(VariantSpec(
+    name="emulator-sssp",
+    kind="edges",
+    summary="(1+eps, beta) oracle storing only emulator edges; SSSP at "
+            "query time (O(emulator) space vs the O(n^2) matrix)",
+    guarantee="d <= est <= (1 + 4*eps) * d + 2*beta",
+    build=_emulator_sssp_build,
+    stretch=_near_additive_stretch,
+    params=(_EPS, _R),
+    phases=("emulator",),
+))
+
 register_variant(VariantSpec(
     name="mssp",
     kind="sources",

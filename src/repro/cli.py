@@ -14,9 +14,15 @@ Examples::
     python -m repro serve --artifact /tmp/oracle --port 8080
     # multi-artifact serving: one process, per-artifact routes
     python -m repro serve --artifact tz=/tmp/tz --artifact na=/tmp/na
-    # per-mount cache override + serving limits
+    # per-mount cache/backend overrides + serving limits
     python -m repro serve --artifact na=/tmp/na,cache_size=100000 \\
+        --artifact es=/tmp/es,backend=parallel \\
         --max-inflight 32 --default-timeout-ms 2000
+    # the coalescing async front end (keep-alive + micro-batching)
+    python -m repro serve --artifact /tmp/oracle --frontend async \\
+        --coalesce-window-ms 0.5 --coalesce-max 512
+    # variant-specific parameters beyond --eps/--r
+    python -m repro apsp --algo spanner --n 200 --params k=3
     # query a running server (retries 503/conn-reset with backoff)
     python -m repro query --url http://127.0.0.1:8080 --u 0 --v 399
     # recompute the manifest's per-array checksums
@@ -106,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--deterministic", action="store_true", help="Section 5.1 construction"
     )
 
+    def params_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--params", default=None, metavar="K=V[,K=V...]",
+            help="variant-specific parameters beyond --eps/--r (e.g. "
+                 "k=3 for the spanner variant); validated against the "
+                 "variant's schema — out-of-range values fail naming "
+                 "the valid range",
+        )
+
     algo_specs = variants.cli_algo_variants()
     p_apsp = sub.add_parser(
         "apsp", help="run an APSP algorithm",
@@ -113,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     common(p_apsp)
+    params_flag(p_apsp)
     p_apsp.add_argument(
         "--algo", default=None, choices=[s.name for s in algo_specs],
         help="APSP variant (default: 2eps; near-additive when "
@@ -121,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_mssp = sub.add_parser("mssp", help="run (1+eps)-MSSP")
     common(p_mssp)
+    params_flag(p_mssp)
     p_mssp.add_argument(
         "--num-sources", type=int, default=0,
         help="number of sources (default: sqrt(n))",
@@ -148,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     common(p_build)
+    params_flag(p_build)
     p_build.add_argument(
         "--variant", default="near-additive",
         choices=list(variants.artifact_variant_names()),
@@ -210,11 +228,29 @@ def build_parser() -> argparse.ArgumentParser:
              "route name; repeat the flag to serve several artifacts "
              "from one process (POST /query/<name>).  Per-mount "
              "overrides append as ,key=value — e.g. "
-             "NAME=PATH,cache_size=100000",
+             "NAME=PATH,cache_size=100000,backend=parallel",
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
     limits = oracle.DEFAULT_LIMITS
+    p_serve.add_argument(
+        "--frontend", default="threaded", choices=oracle.FRONTENDS,
+        help="HTTP front end: 'threaded' (one thread per connection) or "
+             "'async' (keep-alive + request coalescing: concurrent "
+             "single queries are answered by one vectorized gather; "
+             "default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--coalesce-window-ms", type=float,
+        default=limits.coalesce_window_ms,
+        help="async frontend: max milliseconds a single query parks "
+             "waiting for batch-mates (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--coalesce-max", type=int, default=limits.coalesce_max,
+        help="async frontend: parked queries that trigger an immediate "
+             "flush before the window expires (default %(default)s)",
+    )
     p_serve.add_argument(
         "--max-inflight", type=int, default=limits.max_inflight,
         help="bounded in-flight requests per mount; excess gets 503 + "
@@ -318,6 +354,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
 
+def _parse_cli_params(spec):
+    """``--params k=v,...`` into a raw-string dict.  Values stay strings:
+    :meth:`~repro.variants.VariantSpec.resolve_params` coerces them
+    against the variant's schema and rejects out-of-range values naming
+    the valid range (exit 2 via the ``VariantError`` paths)."""
+    if spec is None:
+        return {}
+    parsed = {}
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, sep, value = token.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not key or not value:
+            raise variants.VariantError(
+                f"malformed --params entry {token!r}; expected k=v"
+            )
+        parsed[key] = value
+    return parsed
+
+
 def _main_one_shot(args, g, rng) -> int:
     """``repro apsp`` / ``repro mssp``: registry-dispatched one-shot run."""
     weighted = getattr(args, "max_weight", 1) > 1
@@ -328,16 +386,21 @@ def _main_one_shot(args, g, rng) -> int:
     else:
         exact = all_pairs_distances(g)
 
+    overrides = _parse_cli_params(getattr(args, "params", None))
     if args.command == "apsp":
         algo = args.algo or ("near-additive" if weighted else "2eps")
         spec = variants.get_variant(algo)
         spec.check_graph_support(weighted)
-        params = spec.resolve_params({"eps": args.eps, "r": args.r}, n=g.n)
+        base = {"eps": args.eps, "r": args.r}
+        base.update(overrides)
+        params = spec.resolve_params(base, n=g.n)
         res = spec.run(wg if weighted else g, rng=rng, **params)
         rep = evaluate_stretch(res.estimates, exact, additive=res.additive)
     else:  # mssp
         spec = variants.get_variant("mssp")
-        params = spec.resolve_params({"eps": args.eps, "r": args.r}, n=g.n)
+        base = {"eps": args.eps, "r": args.r}
+        base.update(overrides)
+        params = spec.resolve_params(base, n=g.n)
         num_sources = args.num_sources or max(1, int(math.sqrt(g.n)))
         sources = list(range(0, g.n, max(1, g.n // num_sources)))[:num_sources]
         res = spec.run(
@@ -367,6 +430,7 @@ def _main_build_oracle(args, g, rng) -> int:
         r=args.r,
         rng=rng,
         include_graph=not args.no_graph,
+        params=_parse_cli_params(getattr(args, "params", None)),
     )
     oracle.save_artifact(artifact, args.out)
     m = artifact.manifest
@@ -403,8 +467,17 @@ def _parse_pairs(spec: str):
     return pairs
 
 
+def _parse_backend_option(value: str) -> str:
+    if value not in kernels.BACKENDS:
+        raise oracle.ArtifactError(
+            f"unknown backend {value!r} in --artifact mount option; "
+            f"expected one of {list(kernels.BACKENDS)}"
+        )
+    return value
+
+
 #: Per-mount option parsers for ``--artifact NAME=PATH,key=value``.
-_MOUNT_OPTION_PARSERS = {"cache_size": int}
+_MOUNT_OPTION_PARSERS = {"cache_size": int, "backend": _parse_backend_option}
 
 
 def _parse_artifact_mounts(entries):
@@ -467,6 +540,8 @@ def _main_serving(args) -> int:
             default_timeout_ms=args.default_timeout_ms,
             max_timeout_ms=args.max_timeout_ms,
             drain_timeout_s=args.drain_timeout,
+            coalesce_window_ms=args.coalesce_window_ms,
+            coalesce_max=args.coalesce_max,
         )
         oracle.serve(
             _parse_artifact_mounts(args.artifact),
@@ -475,6 +550,7 @@ def _main_serving(args) -> int:
             mmap=args.mmap,
             cache_size=args.cache_size,
             limits=limits,
+            frontend=args.frontend,
         )
         return 0
 

@@ -18,8 +18,12 @@ end, the preprocess/query split production distance services amortize:
 * :mod:`repro.oracle.service` — :class:`OracleService` (JSON
   request/response semantics), :class:`OracleRouter` (many named
   artifacts served from one process with per-artifact routing and a
-  merged ``/info``), and a stdlib ``ThreadingHTTPServer`` front end
-  (``repro serve --artifact NAME=PATH ...``), no new dependencies.
+  merged ``/info``), and two stdlib HTTP front ends
+  (``repro serve --frontend {threaded,async}``), no new dependencies;
+* :mod:`repro.oracle.coalesce` — :class:`QueryCoalescer`: the async
+  front end's micro-batcher that turns bursts of concurrent single
+  queries into one vectorized ``query_batch`` gather (the E19 45-244x
+  batch advantage applied to single-query traffic).
 
 The serving stack is failure-aware end to end: crash-safe checksummed
 artifact writes (:mod:`repro.oracle.artifact`), per-request deadlines,
@@ -47,6 +51,7 @@ from .artifact import (
     save_artifact,
 )
 from .client import ClientRetriesExhausted, OracleClient, OracleClientError
+from .coalesce import CoalescerClosed, QueryCoalescer
 from .engine import DistanceOracle, QueryCertificate
 from .faults import FAULTS, FaultInjector, InjectedFault
 from .resilience import (
@@ -57,7 +62,16 @@ from .resilience import (
     DeadlineExceeded,
     ServingLimits,
 )
-from .service import OracleRouter, OracleService, make_server, serve
+from .service import (
+    FRONTENDS,
+    AsyncOracleServer,
+    AsyncServerHandle,
+    OracleRouter,
+    OracleService,
+    make_server,
+    serve,
+    start_async_server,
+)
 
 
 def __getattr__(name: str):
@@ -76,13 +90,17 @@ __all__ = [
     "ArtifactCorrupt",
     "ArtifactError",
     "ArtifactMismatch",
+    "AsyncOracleServer",
+    "AsyncServerHandle",
     "ClientRetriesExhausted",
+    "CoalescerClosed",
     "DEFAULT_LIMITS",
     "Deadline",
     "DeadlineExceeded",
     "DistanceOracle",
     "FAULTS",
     "FORMAT_VERSION",
+    "FRONTENDS",
     "FaultInjector",
     "InjectedFault",
     "MATRIX_VARIANTS",
@@ -92,6 +110,7 @@ __all__ = [
     "OracleRouter",
     "OracleService",
     "QueryCertificate",
+    "QueryCoalescer",
     "ServingLimits",
     "VARIANTS",
     "build_oracle",
@@ -100,4 +119,5 @@ __all__ = [
     "make_server",
     "save_artifact",
     "serve",
+    "start_async_server",
 ]

@@ -19,7 +19,7 @@ Which variants exist, what arrays they store, and which parameters they
 accept is **not** decided here: everything dispatches through the
 declarative registry (:mod:`repro.variants`) — ``build_oracle`` looks
 the variant up, validates parameters against its schema, and snapshots
-whatever payload the spec's builder returns.  Three kinds exist today:
+whatever payload the spec's builder returns.  Four kinds exist today:
 
 * ``"matrix"`` — a full ``(n, n)`` estimate matrix; queries gather.
 * ``"bunches"`` — the classic Thorup–Zwick pivot/bunch relation stored
@@ -27,6 +27,9 @@ whatever payload the spec's builder returns.  Three kinds exist today:
   min-plus combine.
 * ``"sources"`` — an MSSP snapshot: ``(len(sources), n)`` estimates
   plus the source array; queries must touch a source endpoint.
+* ``"edges"`` — an emulator edge list (``emu_us``/``emu_vs``/
+  ``emu_ws``); queries run SSSP over it at query time (O(emulator)
+  storage instead of O(n^2)).
 
 The manifest's ``graph_hash`` makes staleness detectable: loading with
 ``expected_graph=`` fails loudly with :class:`ArtifactMismatch` instead
@@ -372,6 +375,7 @@ _KIND_ARRAYS = {
     "matrix": ("estimates",),
     "bunches": ("bunch_srcs", "bunch_dsts", "bunch_ds"),
     "sources": ("estimates", "sources"),
+    "edges": ("emu_us", "emu_vs", "emu_ws"),
 }
 
 

@@ -1,6 +1,6 @@
 """A resilient HTTP client for the oracle serving endpoint.
 
-:class:`OracleClient` wraps the stdlib ``urllib`` with the retry
+:class:`OracleClient` wraps the stdlib ``http.client`` with the retry
 discipline the serving stack's failure semantics call for (DESIGN.md
 §7): a ``503`` (shed load, draining instance) or a dropped connection
 is **transient** — the request is retried with exponential backoff and
@@ -10,16 +10,27 @@ as-is (a ``400`` will not become a ``200`` by retrying it).  The CLI's
 ``repro query --url`` runs on this client, and it is the piece a
 load-generation harness points at a fleet.
 
-No new dependencies: ``urllib.request`` + ``json`` only.
+The client holds one **keep-alive** connection and reuses it across
+calls — against the async front end every query after the first skips
+the TCP handshake, which is most of a single query's cost.  A reused
+socket can always have gone stale between requests (server drained,
+idle timeout, HTTP/1.0 peer closing per-request); the client detects
+the stale-socket error, transparently reconnects exactly once, and
+counts the event in :attr:`OracleClient.reconnects`.  Servers that
+answer ``Connection: close`` (the threaded front end) simply cost a
+fresh connection per call — correct, just slower, and *not* counted
+as a reconnect.
+
+No new dependencies: ``http.client`` + ``json`` only.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from typing import Dict, Optional, Tuple
 
 __all__ = ["ClientRetriesExhausted", "OracleClient", "OracleClientError"]
@@ -46,17 +57,33 @@ _TRANSIENT_ERRORS = (
     ConnectionRefusedError,
     BrokenPipeError,
     TimeoutError,
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+)
+
+#: Errors that mean "the kept-alive socket went stale between requests"
+#: — safe to reconnect and resend transparently, because the previous
+#: request on the connection completed, so nothing is in flight.
+_STALE_ERRORS = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    ConnectionResetError,
+    BrokenPipeError,
 )
 
 
 class OracleClient:
-    """Retrying JSON client for one serving base URL.
+    """Retrying keep-alive JSON client for one serving base URL.
 
     ``max_attempts`` bounds total tries (first call + retries);
     backoff doubles from ``backoff_s`` up to ``backoff_cap_s`` with
     ``jitter`` (a fraction of the delay, randomized to decorrelate a
     retrying fleet).  A ``503`` response's ``Retry-After`` header (or
     ``retry_after`` body hint) overrides the computed backoff.
+
+    One TCP connection is held open and reused across calls; a stale
+    socket is replaced transparently (:attr:`reconnects` counts the
+    replacements).  Not thread-safe — give each worker its own client.
     """
 
     def __init__(
@@ -72,13 +99,25 @@ class OracleClient:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.base_url = base_url.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", "https"):
+            raise OracleClientError(
+                f"unsupported URL scheme {parsed.scheme!r} in "
+                f"{base_url!r}; expected http:// or https://"
+            )
+        self._scheme = parsed.scheme
+        self._netloc = parsed.netloc
+        self._path_prefix = parsed.path.rstrip("/")
         self.max_attempts = int(max_attempts)
         self.backoff_s = float(backoff_s)
         self.backoff_cap_s = float(backoff_cap_s)
         self.jitter = float(jitter)
         self.timeout_s = float(timeout_s)
         self._rng = rng or random.Random()
-        self.retries = 0  # total retries performed (introspection)
+        self.retries = 0  # total backoff retries performed (introspection)
+        self.reconnects = 0  # stale keep-alive sockets replaced
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._conn_used = False  # a request completed on self._conn
 
     # ------------------------------------------------------------------
     def query(
@@ -98,6 +137,22 @@ class OracleClient:
         """GET ``/healthz`` (no retries — health must reflect now)."""
         return self._once("GET", "/healthz", None)
 
+    def close(self) -> None:
+        """Drop the kept-alive connection (idempotent)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+            self._conn_used = False
+
+    def __enter__(self) -> "OracleClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     def _call(
         self, method: str, path: str, payload: Optional[Dict[str, object]]
@@ -115,14 +170,13 @@ class OracleClient:
                 retry_after = _retry_after_hint(headers, body)
                 last_error = None
             except _TRANSIENT_ERRORS as exc:
+                self.close()
                 last_error = exc
-            except urllib.error.URLError as exc:
-                if isinstance(exc.reason, _TRANSIENT_ERRORS):
-                    last_error = exc
-                else:
-                    raise OracleClientError(
-                        f"{method} {self.base_url}{path} failed: {exc}"
-                    )
+            except (OSError, http.client.HTTPException) as exc:
+                self.close()
+                raise OracleClientError(
+                    f"{method} {self.base_url}{path} failed: {exc}"
+                )
             if attempt >= self.max_attempts:
                 break
             self.retries += 1
@@ -141,26 +195,64 @@ class OracleClient:
     ) -> Tuple[int, Dict[str, object]]:
         try:
             status, body, _ = self._roundtrip(method, path, payload)
-        except urllib.error.URLError as exc:
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
             raise OracleClientError(
                 f"{method} {self.base_url}{path} failed: {exc}"
             )
         return status, body
 
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            factory = (
+                http.client.HTTPSConnection
+                if self._scheme == "https"
+                else http.client.HTTPConnection
+            )
+            self._conn = factory(self._netloc, timeout=self.timeout_s)
+            self._conn_used = False
+        return self._conn
+
     def _roundtrip(self, method, path, payload):
-        data = None if payload is None else json.dumps(payload).encode()
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
+        """One request/response over the kept-alive connection.
+
+        A stale socket (previous request succeeded, this send or the
+        status line fails) is replaced and the request resent exactly
+        once — a *fresh* connection's failure propagates to the
+        ``_call`` backoff ladder instead, since reconnecting again
+        cannot help."""
+        was_used = self._conn_used
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
-                return resp.status, _json_body(resp.read()), resp.headers
-        except urllib.error.HTTPError as exc:
-            # A JSON error body is a *response*, not a transport failure.
-            return exc.code, _json_body(exc.read()), exc.headers
+            return self._send(method, path, payload)
+        except _STALE_ERRORS:
+            if not was_used:
+                raise
+            self.close()
+            self.reconnects += 1
+            return self._send(method, path, payload)
+
+    def _send(self, method, path, payload):
+        conn = self._connection()
+        data = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if data else {}
+        try:
+            conn.request(method, self._path_prefix + path, data, headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        except BaseException:
+            # Whatever happened, this socket can no longer be trusted
+            # to frame the next response.
+            self.close()
+            raise
+        status, resp_headers = resp.status, resp.headers
+        if resp.will_close:
+            # Server asked for Connection: close (e.g. the threaded
+            # front end) — drop quietly; not a stale-socket event.
+            self.close()
+        else:
+            self._conn_used = True
+        return status, _json_body(raw), resp_headers
 
     def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
         if retry_after is not None:

@@ -11,6 +11,16 @@ Answers point-to-point distance and path queries from an
   either endpoint is a source (the ``u`` row wins when both are);
   uncovered pairs fail loudly instead of answering without
   information;
+* **edges artifacts** — the emulator-SSSP representation: the artifact
+  stores only the near-additive emulator's edge list (plus the source
+  graph's own unit edges, mirroring the construction's fold-in), and a
+  query runs SSSP *at query time* — one
+  :func:`repro.kernels.hop_limited_relax` pass from each distinct
+  source in the batch (sharded so the dense ``(k, n)`` relax matrix
+  stays bounded), then a gather.  O(emulator) storage instead of
+  O(n^2), the build's exact guarantee, query cost paid per distinct
+  source; the per-mount ``backend=`` override picks the relax kernel's
+  backend;
 * **bunches artifacts** — the classic 2-hop Thorup–Zwick combine
   ``min_w d(u, w) + d(v, w)`` over the common members
   ``w ∈ B(u) ∩ B(v)`` of the two *directed* bunch out-stars (the pivot
@@ -46,6 +56,7 @@ import numpy as np
 
 from ..analysis.stretch import StretchReport, evaluate_stretch
 from ..graph.graph import Graph, WeightedGraph
+from ..kernels import BACKENDS, hop_limited_relax
 from .artifact import ArtifactError, OracleArtifact, load_artifact
 from .faults import FAULTS
 
@@ -53,6 +64,10 @@ __all__ = ["DistanceOracle", "QueryCertificate", "DEFAULT_CACHE_SIZE"]
 
 #: Default LRU result-cache capacity (entries, one per unordered pair).
 DEFAULT_CACHE_SIZE = 4096
+
+#: Distinct sources relaxed per SSSP pass on an ``edges`` artifact —
+#: bounds the dense ``(shard, n)`` seed matrix regardless of batch size.
+_EDGES_SSSP_SHARD = 64
 
 
 @dataclass(frozen=True)
@@ -102,7 +117,14 @@ class DistanceOracle:
         self,
         artifact: OracleArtifact,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        backend: Optional[str] = None,
     ):
+        if backend is not None and backend not in BACKENDS:
+            raise ArtifactError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{list(BACKENDS)}"
+            )
+        self._backend = backend
         self.artifact = artifact
         self.n = artifact.n
         self.kind = artifact.kind
@@ -146,6 +168,28 @@ class DistanceOracle:
                 artifact.arrays["bunch_dsts"],
                 artifact.arrays["bunch_ds"],
             )
+        elif self.kind == "edges":
+            eu = np.asarray(artifact.arrays["emu_us"], dtype=np.int64)
+            ev = np.asarray(artifact.arrays["emu_vs"], dtype=np.int64)
+            ew = np.asarray(artifact.arrays["emu_ws"], dtype=np.float64)
+            if not (eu.shape == ev.shape == ew.shape) or eu.ndim != 1:
+                raise ArtifactError(
+                    "edges artifact needs equal-length 1-D "
+                    "emu_us/emu_vs/emu_ws arrays"
+                )
+            if eu.size and (
+                min(eu.min(), ev.min()) < 0
+                or max(eu.max(), ev.max()) >= self.n
+            ):
+                raise ArtifactError(
+                    f"edges artifact references vertices out of range "
+                    f"for n={self.n}"
+                )
+            # Bidirectional arc arrays for the relax kernel (the stored
+            # edge list is undirected).
+            self._origins = np.concatenate([eu, ev])
+            self._targets = np.concatenate([ev, eu])
+            self._weights = np.concatenate([ew, ew])
         else:
             raise ArtifactError(f"unknown artifact kind {self.kind!r}")
 
@@ -156,16 +200,20 @@ class DistanceOracle:
         expected_graph=None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         mmap: bool = False,
+        backend: Optional[str] = None,
     ) -> "DistanceOracle":
         """Load an artifact directory and wrap it in an oracle.
 
         ``mmap=True`` memory-maps a format-2 estimate matrix
         (:func:`repro.oracle.artifact.load_artifact`): answers are
         bit-identical, but the payload stays on disk and pages in on
-        demand."""
+        demand.  ``backend`` picks the kernel backend for query-time
+        computation (today the ``edges`` kind's SSSP relax; inert for
+        gather-only kinds) — every backend is bit-identical."""
         return cls(
             load_artifact(path, expected_graph=expected_graph, mmap=mmap),
             cache_size=cache_size,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------
@@ -321,7 +369,42 @@ class DistanceOracle:
             return values, np.full(us.size, -1, dtype=np.int64)
         if self.kind == "sources":
             return self._sources_batch(us, vs)
+        if self.kind == "edges":
+            return self._edges_batch(us, vs)
         return self._combine_batch(us, vs, want_witness)
+
+    def _edges_batch(
+        self, us: np.ndarray, vs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """SSSP-at-query-time for an ``edges``-kind artifact.
+
+        One :func:`repro.kernels.hop_limited_relax` pass per shard of
+        *distinct* sources (the kernel stops early at its fixpoint),
+        then a row gather answers every query on those sources.  Cost
+        scales with distinct sources, not batch size — a batch hammering
+        few sources amortizes exactly like the matrix gather."""
+        if self._origins.size == 0:  # edgeless artifact: only u == v
+            return (
+                np.where(us == vs, 0.0, np.inf),
+                np.full(us.size, -1, dtype=np.int64),
+            )
+        sources, inverse = np.unique(us, return_inverse=True)
+        values = np.empty(us.size, dtype=np.float64)
+        for start in range(0, int(sources.size), _EDGES_SSSP_SHARD):
+            shard = sources[start:start + _EDGES_SSSP_SHARD]
+            seed = np.full((shard.size, self.n), np.inf)
+            seed[np.arange(shard.size), shard] = 0.0
+            dist = hop_limited_relax(
+                seed,
+                self._origins,
+                self._targets,
+                self._weights,
+                max_hops=self.n,
+                backend=self._backend,
+            )
+            in_shard = (inverse >= start) & (inverse < start + shard.size)
+            values[in_shard] = dist[inverse[in_shard] - start, vs[in_shard]]
+        return values, np.full(us.size, -1, dtype=np.int64)
 
     def _sources_batch(
         self, us: np.ndarray, vs: np.ndarray

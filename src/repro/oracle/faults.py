@@ -9,7 +9,14 @@ lever: a process-global :data:`FAULTS` injector with a small set of
     artifact.load       fired on every load_artifact call
     artifact.save       fired at each save stage (see below)
     engine.query_batch  fired on every DistanceOracle.query_batch call
-    service.handle      fired inside admission, before dispatch
+    service.handle      fired inside admission, before dispatch (under
+                        the async front end, coalesced single queries
+                        fire it once per *flush*, in the flush worker —
+                        a delay stalls the whole micro-batch, exactly
+                        like every member request stalling)
+    coalesce.flush      fired in the coalescer's flush worker before the
+                        batched gather; an ``error`` fault maps to a
+                        per-request 500 for every parked query
     parallel.worker     fired inside a shard-pool worker, per task
 
 Disarmed (the default), ``fire`` is one attribute read and a branch —
@@ -76,6 +83,7 @@ FAULT_POINTS = (
     "artifact.save",
     "engine.query_batch",
     "service.handle",
+    "coalesce.flush",
     "parallel.worker",
 )
 

@@ -196,6 +196,12 @@ class ServingLimits:
     is the unit of deadline-checking inside a batched query: chunks are
     answered one vectorized pass at a time with a deadline check
     between, so a blown deadline reports how many pairs completed.
+
+    ``coalesce_window_ms`` / ``coalesce_max`` bound the async
+    front end's request coalescer (:mod:`repro.oracle.coalesce`):
+    concurrent single queries park for at most the window (or until the
+    size trigger fills a batch), then one vectorized gather answers all
+    of them.  The threaded front end ignores both.
     """
 
     max_inflight: int = 64
@@ -206,6 +212,8 @@ class ServingLimits:
     batch_chunk: int = 8192
     retry_after_s: float = 1.0
     drain_timeout_s: float = 10.0
+    coalesce_window_ms: float = 0.5
+    coalesce_max: int = 512
 
 
 DEFAULT_LIMITS = ServingLimits()

@@ -30,8 +30,24 @@ Every request now runs through the resilience layer
   instance), new queries get ``503``, in-flight requests finish up to
   the drain deadline, then the process exits 0.
 
-The HTTP layer is a ``http.server.ThreadingHTTPServer`` (no new
-dependencies): ``POST /query[/<name>]`` with a JSON body,
+Two HTTP front ends share those semantics (both stdlib-only), selected
+by ``repro serve --frontend {threaded,async}``:
+
+* **threaded** (default) — a ``http.server.ThreadingHTTPServer``: one
+  connection per request (HTTP/1.0), one thread per connection.  Simple
+  and battle-tested; every single query pays the full per-request cost.
+* **async** — an asyncio server with keep-alive
+  (:class:`AsyncOracleServer`) that **coalesces** concurrent single
+  queries: requests park in a per-artifact
+  :class:`~repro.oracle.coalesce.QueryCoalescer`, flush on a bounded
+  window or a size trigger, and are answered by *one* vectorized
+  ``query_batch`` gather run in a worker thread (the loop never
+  blocks).  Explicit batches, certificates, paths and info bypass the
+  coalescer straight to a worker thread.  ``/info`` grows per-artifact
+  ``coalescing`` counters.  Failure semantics are identical to the
+  threaded front end (DESIGN.md §7).
+
+Routes are the same on both: ``POST /query[/<name>]`` with a JSON body,
 ``GET /info[/<name>]`` and ``GET /healthz``.  Requests batch naturally:
 a ``pairs`` list (or parallel ``us`` / ``vs`` arrays) is answered
 chunk by chunk in vectorized engine passes.
@@ -48,17 +64,21 @@ counted, not crashed on.  DESIGN.md §7 tabulates the full mapping.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import signal
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from http.client import responses as _HTTP_REASONS
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .artifact import ArtifactCorrupt, ArtifactError, ArtifactMismatch
+from .coalesce import CoalescerClosed, QueryCoalescer
 from .engine import DistanceOracle
 from .faults import FAULTS
 from .resilience import (
@@ -71,12 +91,19 @@ from .resilience import (
 )
 
 __all__ = [
+    "AsyncOracleServer",
+    "AsyncServerHandle",
     "OracleRouter",
     "OracleService",
     "OracleHTTPServer",
+    "FRONTENDS",
     "make_server",
     "serve",
+    "start_async_server",
 ]
+
+#: The serving front ends ``repro serve --frontend`` selects between.
+FRONTENDS = ("threaded", "async")
 
 
 def _clean(value: float) -> Optional[float]:
@@ -103,9 +130,23 @@ class OracleService:
         self.admission = AdmissionController(
             self.limits.max_inflight, retry_after=self.limits.retry_after_s
         )
+        self.coalescer: Optional[QueryCoalescer] = None
         self._stats_lock = threading.Lock()
         self._deadline_exceeded = 0
         self._over_limit = 0
+
+    def attach_coalescer(self) -> QueryCoalescer:
+        """Create (once) the coalescer :meth:`submit_coalesced` parks
+        queries in, bounded by ``limits.coalesce_window_ms`` /
+        ``limits.coalesce_max``.  Only the async front end calls this —
+        a service without one pays nothing."""
+        if self.coalescer is None:
+            self.coalescer = QueryCoalescer(
+                self.oracle,
+                window_ms=self.limits.coalesce_window_ms,
+                max_batch=self.limits.coalesce_max,
+            )
+        return self.coalescer
 
     # ------------------------------------------------------------------
     def handle(self, request: object) -> Tuple[int, Dict[str, object]]:
@@ -128,13 +169,25 @@ class OracleService:
                     self.limits.max_timeout_ms,
                 )
                 return self._dispatch(request, deadline)
-        except AdmissionRejected as exc:
+        except Exception as exc:  # noqa: BLE001 — keep serving threads alive
+            return self._error_response(exc)
+
+    def _error_response(self, exc: BaseException) -> Tuple[int, Dict[str, object]]:
+        """The one failure→(status, body) mapping both request paths
+        share (``handle`` and the coalesced path); DESIGN.md §7."""
+        if isinstance(exc, AdmissionRejected):
             return 503, {
                 "error": str(exc),
                 "retry_after": exc.retry_after,
                 "inflight": exc.inflight,
             }
-        except DeadlineExceeded as exc:
+        if isinstance(exc, CoalescerClosed):
+            return 503, {
+                "error": str(exc),
+                "draining": True,
+                "retry_after": self.limits.retry_after_s,
+            }
+        if isinstance(exc, DeadlineExceeded):
             with self._stats_lock:
                 self._deadline_exceeded += 1
             body: Dict[str, object] = {
@@ -144,16 +197,73 @@ class OracleService:
             if exc.progress is not None:
                 body["progress"] = exc.progress
             return 504, body
-        except ArtifactMismatch as exc:
+        if isinstance(exc, ArtifactMismatch):
             return 409, {"error": str(exc)}
-        except ArtifactCorrupt as exc:
+        if isinstance(exc, ArtifactCorrupt):
             return 500, {"error": str(exc)}
-        except (ArtifactError, IndexError, ValueError, TypeError) as exc:
+        if isinstance(exc, (ArtifactError, IndexError, ValueError, TypeError)):
             return 400, {"error": str(exc)}
-        except Exception as exc:  # noqa: BLE001 — keep serving threads alive
-            return 500, {
-                "error": f"internal error: {type(exc).__name__}: {exc}"
-            }
+        return 500, {
+            "error": f"internal error: {type(exc).__name__}: {exc}"
+        }
+
+    def submit_coalesced(
+        self, request: object
+    ) -> "Future[Tuple[int, Dict[str, object]]]":
+        """Answer one *single* distance request via the coalescer.
+
+        The async front end's fast path: the query parks in the
+        coalescer (holding an admission slot — parked occupancy counts
+        against ``max_inflight`` exactly like an in-flight thread) and
+        the returned future resolves to the same ``(status, body)``
+        ``handle`` would produce.  Never raises, never blocks beyond a
+        lock; requires :meth:`attach_coalescer` first.
+        """
+        out: "Future[Tuple[int, Dict[str, object]]]" = Future()
+        if not isinstance(request, dict):
+            out.set_result((400, {"error": "request body must be a JSON object"}))
+            return out
+        slot = self.admission.admit()
+        try:
+            slot.__enter__()
+        except AdmissionRejected as exc:
+            out.set_result(self._error_response(exc))
+            return out
+        try:
+            deadline = Deadline.resolve(
+                request.get("timeout_ms"),
+                self.limits.default_timeout_ms,
+                self.limits.max_timeout_ms,
+            )
+            u, v = self._single_indices(request)
+            # Validate the pair *before* parking: one bad vertex must
+            # 400 that request alone, not poison the flushed batch.
+            n = self.oracle.n
+            if not (0 <= u < n and 0 <= v < n):
+                raise IndexError(f"query vertex out of range for n={n}")
+            parked = self.coalescer.submit(u, v, deadline)
+        except Exception as exc:
+            slot.__exit__(None, None, None)
+            out.set_result(self._error_response(exc))
+            return out
+
+        def _finish(done: "Future[float]") -> None:
+            try:
+                try:
+                    value = done.result()
+                except Exception as exc:  # noqa: BLE001 — typed mapping
+                    result = self._error_response(exc)
+                else:
+                    result = (
+                        200,
+                        {"u": u, "v": v, "distance": _clean(value)},
+                    )
+            finally:
+                slot.__exit__(None, None, None)
+            out.set_result(result)
+
+        parked.add_done_callback(_finish)
+        return out
 
     def _dispatch(self, request, deadline):
         op = request.get("op", "distance")
@@ -182,11 +292,14 @@ class OracleService:
                 "over_limit": self._over_limit,
             }
         resilience.update(self.admission.stats())
-        return {
+        body: Dict[str, object] = {
             "manifest": dict(self.oracle.artifact.manifest),
             "stats": self.oracle.stats(),
             "serving": resilience,
         }
+        if self.coalescer is not None:
+            body["coalescing"] = self.coalescer.stats()
+        return body
 
     # ------------------------------------------------------------------
     def _batch_indices(self, request):
@@ -277,7 +390,7 @@ class OracleService:
 
 #: Mount options accepted by :meth:`OracleRouter.load` (the
 #: ``--artifact NAME=PATH,key=value`` surface).
-_MOUNT_OPTIONS = ("cache_size",)
+_MOUNT_OPTIONS = ("cache_size", "backend")
 
 
 class OracleRouter:
@@ -326,10 +439,10 @@ class OracleRouter:
         ``name=None`` defaults to the artifact's manifest ``variant``
         (duplicate defaults fail loudly — name them explicitly).  The
         per-mount ``options`` dict overrides serving knobs for that
-        artifact alone — today ``cache_size`` (the CLI spells it
-        ``--artifact NAME=PATH,cache_size=N``); unknown options fail
-        loudly.  ``cache_size``/``limits`` apply to every mount that
-        does not override them."""
+        artifact alone — ``cache_size`` and ``backend`` (the CLI spells
+        them ``--artifact NAME=PATH,cache_size=N,backend=X``); unknown
+        options fail loudly.  ``cache_size``/``limits`` apply to every
+        mount that does not override them."""
         router = cls()
         for item in artifacts:
             if len(item) == 3:
@@ -339,15 +452,18 @@ class OracleRouter:
                 options = None
             options = dict(options or {})
             mount_cache = options.pop("cache_size", cache_size)
+            mount_backend = options.pop("backend", None)
             if options:
                 raise ArtifactError(
                     f"unknown mount option(s) {sorted(options)} for "
                     f"artifact {name or path!r}; supported: "
                     f"{list(_MOUNT_OPTIONS)}"
                 )
-            kwargs = {} if mount_cache is None else {
-                "cache_size": int(mount_cache)
-            }
+            kwargs = {}
+            if mount_cache is not None:
+                kwargs["cache_size"] = int(mount_cache)
+            if mount_backend is not None:
+                kwargs["backend"] = mount_backend
             oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
             router.mount(
                 name or oracle.artifact.variant, oracle, limits=limits
@@ -453,6 +569,7 @@ class OracleHTTPServer(ThreadingHTTPServer):
         """Transport-level counters (merged into ``GET /info``)."""
         with self._http_lock:
             return {
+                "frontend": "threaded",
                 "client_disconnects": self._disconnects,
                 "draining": self.draining,
             }
@@ -626,6 +743,434 @@ def make_server(
     return server
 
 
+# ----------------------------------------------------------------------
+# Async front end: keep-alive + request coalescing (stdlib asyncio)
+# ----------------------------------------------------------------------
+
+class AsyncOracleServer:
+    """An asyncio HTTP/1.1 server that coalesces single queries.
+
+    Same routes, same JSON semantics, same failure mapping as
+    :class:`OracleHTTPServer` — but connections are keep-alive and
+    concurrent single distance queries park in each mounted service's
+    :class:`~repro.oracle.coalesce.QueryCoalescer`, so a burst of N
+    singles costs *one* vectorized gather instead of N engine calls.
+    Everything else (explicit batches, certificates, paths, info ops)
+    runs in a small worker-thread pool so the event loop never blocks
+    on engine work.
+
+    Construct, then ``await start()`` on a running loop (or use
+    :func:`start_async_server` for a background-thread harness, or
+    ``serve(frontend="async")`` for the CLI foreground path).
+    """
+
+    def __init__(
+        self,
+        router: OracleRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        limits: Optional[ServingLimits] = None,
+    ):
+        self.router = router
+        self.host = host
+        self.port = port
+        self.limits = limits or DEFAULT_LIMITS
+        self.draining = False
+        self.server_address: Tuple[str, int] = (host, port)
+        self._lock = threading.Lock()
+        self._disconnects = 0
+        self._drain_started = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._writers: set = set()
+        self._conn_tasks: set = set()
+
+    # -- the surface shared with OracleHTTPServer ----------------------
+    def count_disconnect(self) -> None:
+        """Record a client that vanished mid-response."""
+        with self._lock:
+            self._disconnects += 1
+
+    def http_stats(self) -> Dict[str, object]:
+        """Transport-level counters (merged into ``GET /info``)."""
+        with self._lock:
+            return {
+                "frontend": "async",
+                "client_disconnects": self._disconnects,
+                "draining": self.draining,
+            }
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncOracleServer":
+        """Bind the listening socket, attach coalescers, spin up (and
+        pre-warm) the worker pool."""
+        self._loop = asyncio.get_running_loop()
+        workers = 4
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="oracle-async"
+        )
+        # Pre-warm every pool thread now so the process thread count is
+        # stable before the first request (the chaos suite snapshots a
+        # thread-count baseline and asserts serving returns to it).
+        barrier = threading.Barrier(workers + 1)
+        warm = [self._executor.submit(barrier.wait, 5) for _ in range(workers)]
+        barrier.wait(5)
+        for fut in warm:
+            fut.result()
+        for svc in self.router.services():
+            svc.attach_coalescer()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.server_address = self._server.sockets[0].getsockname()[:2]
+        return self
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`drain` has completed."""
+        await self._stopped.wait()
+
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """The graceful exit: stop accepting, flush every coalescer
+        (parked queries are *answered*, not abandoned), wait out
+        in-flight work up to ``timeout`` (default
+        ``limits.drain_timeout_s``), then close lingering keep-alive
+        connections.  Idempotent; True when everything finished in
+        budget."""
+        with self._lock:
+            already = self._drain_started
+            self._drain_started = True
+            self.draining = True
+        if already:
+            await self._stopped.wait()
+            return True
+        timeout = self.limits.drain_timeout_s if timeout is None else timeout
+        end = time.monotonic() + timeout
+        # The listener stays open while draining — like the threaded
+        # front end, late arrivals get a *told* rejection (503 +
+        # Retry-After, ``/healthz`` flips) rather than a connection
+        # refusal; ``_dispatch`` checks ``self.draining``.
+        # Coalescer close joins its flusher thread — run it (and the
+        # admission waits) in the pool so parked waiters' responses can
+        # still be written by the loop while we wait.
+        for svc in self.router.services():
+            if svc.coalescer is not None:
+                await self._loop.run_in_executor(
+                    self._executor, svc.coalescer.close
+                )
+        drained = True
+        for svc in self.router.services():
+            remaining = max(0.0, end - time.monotonic())
+            drained = (
+                await self._loop.run_in_executor(
+                    self._executor, svc.admission.drain, remaining
+                )
+                and drained
+            )
+        # In-flight responses have their slots released just before the
+        # write lands on the loop — give those writes a beat, then stop
+        # accepting and close idle keep-alive readers so their
+        # coroutines wind down.
+        await asyncio.sleep(0.05)
+        self._server.close()
+        await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+        self._stopped.set()
+        return drained
+
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line in (b"\r\n", b"\n"):
+                    continue
+                parts = line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._write(
+                        writer, 400,
+                        {"error": "malformed HTTP request line"},
+                        (), keep=False,
+                    )
+                    break
+                method, path, _version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    hline = await reader.readline()
+                    if hline in (b"\r\n", b"\n", b""):
+                        break
+                    key, _, val = hline.decode("latin-1").partition(":")
+                    headers[key.strip().lower()] = val.strip()
+                want_close = "close" in headers.get("connection", "").lower()
+                status, body, extra, must_close = await self._dispatch(
+                    method, path, headers, reader
+                )
+                keep = not want_close and not must_close
+                await self._write(writer, status, body, extra, keep=keep)
+                if not keep:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            self.count_disconnect()
+        except (asyncio.LimitOverrunError, ValueError):
+            pass  # oversized or undecodable header line: drop the conn
+        finally:
+            self._writers.discard(writer)
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001 — already-gone transport
+                pass
+
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], reader
+    ) -> Tuple[int, Dict[str, object], Tuple, bool]:
+        """Answer one parsed request; returns
+        ``(status, body, extra_headers, must_close)`` — ``must_close``
+        marks responses sent without reading the request body."""
+        if method == "GET":
+            if path == "/healthz":
+                if self.draining:
+                    return 503, {"ok": False, "draining": True}, (), False
+                return 200, {"ok": True}, (), False
+            matched, name = _split_route(path, "/info")
+            if matched:
+                status, body = self.router.info(name)
+                if status == 200 and name is None:
+                    body["http"] = self.http_stats()
+                return status, body, (), False
+            return 404, {"error": f"unknown path {path!r}"}, (), False
+        if method != "POST":
+            return 501, {"error": f"unsupported method {method!r}"}, (), True
+        matched, name = _split_route(path, "/query")
+        if not matched:
+            return 404, {"error": f"unknown path {path!r}"}, (), True
+        if self.draining:
+            retry = self.limits.retry_after_s
+            return 503, {
+                "error": "server is draining for shutdown; retry "
+                "against another instance",
+                "draining": True,
+                "retry_after": retry,
+            }, (("Retry-After", f"{retry:g}"),), True
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            return 411, {
+                "error": "Content-Length header is required"
+            }, (), True
+        try:
+            length = int(raw_length)
+        except ValueError:
+            return 400, {
+                "error": f"malformed Content-Length {raw_length!r}"
+            }, (), True
+        if length <= 0:
+            return 400, {
+                "error": f"Content-Length must be positive, got "
+                f"{length} (send a JSON object body)"
+            }, (), True
+        if length > self.limits.max_body_bytes:
+            return 413, {
+                "error": f"request body of {length} bytes exceeds "
+                f"this server's max_body_bytes="
+                f"{self.limits.max_body_bytes}",
+                "max_body_bytes": self.limits.max_body_bytes,
+            }, (), True
+        raw = await reader.readexactly(length)
+        try:
+            request = json.loads(raw)
+        except (ValueError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"malformed JSON request: {exc}"}, (), False
+        svc, status, err = self.router._resolve(name)
+        if svc is None:
+            return status, err, (), False
+        if self._coalescable(request):
+            status, body = await asyncio.wrap_future(
+                svc.submit_coalesced(request)
+            )
+        else:
+            # Batches, certificates, paths, info: straight to a worker
+            # thread — an explicit batch is already vectorized, so the
+            # coalescer would only add latency.
+            status, body = await self._loop.run_in_executor(
+                self._executor, svc.handle, request
+            )
+        extra: Tuple = ()
+        if status == 503 and "retry_after" in body:
+            extra = (("Retry-After", f"{float(body['retry_after']):g}"),)
+        return status, body, extra, False
+
+    @staticmethod
+    def _coalescable(request: object) -> bool:
+        """Single distance queries coalesce; everything else bypasses."""
+        return (
+            isinstance(request, dict)
+            and request.get("op", "distance") == "distance"
+            and "pairs" not in request
+            and "us" not in request
+            and "vs" not in request
+            and "u" in request
+            and "v" in request
+        )
+
+    async def _write(
+        self, writer, status: int, body: Dict[str, object],
+        extra: Tuple, keep: bool,
+    ) -> None:
+        payload = json.dumps(body).encode()
+        head = [
+            f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+        ]
+        head.extend(f"{key}: {value}" for key, value in extra)
+        head.append("Connection: keep-alive" if keep else "Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+
+class AsyncServerHandle:
+    """An :class:`AsyncOracleServer` hosted on a background event-loop
+    thread, exposing the threaded server's surface
+    (``server_address``, ``draining``, ``http_stats``,
+    ``drain_and_shutdown``) so tests and benchmarks treat the two
+    front ends interchangeably."""
+
+    def __init__(self, server: AsyncOracleServer, loop, thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def router(self) -> OracleRouter:
+        return self.server.router
+
+    @property
+    def limits(self) -> ServingLimits:
+        return self.server.limits
+
+    @property
+    def server_address(self) -> Tuple[str, int]:
+        return self.server.server_address
+
+    @property
+    def draining(self) -> bool:
+        return self.server.draining
+
+    def http_stats(self) -> Dict[str, object]:
+        return self.server.http_stats()
+
+    def drain_and_shutdown(self, timeout: Optional[float] = None) -> bool:
+        """Drain on the loop, then tear everything down: worker pool,
+        event loop, loop thread.  Thread count returns to baseline.
+        Idempotent — a second call after shutdown reports True."""
+        if self._thread is None:
+            return True
+        drained = asyncio.run_coroutine_threadsafe(
+            self.server.drain(timeout), self._loop
+        ).result()
+        self.close()
+        return drained
+
+    def close(self) -> None:
+        """Stop the loop thread and the worker pool (idempotent)."""
+        if self._thread is None:
+            return
+        if self.server._executor is not None:
+            self.server._executor.shutdown(wait=True)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+        self._thread = None
+
+
+def start_async_server(
+    oracle: Union[DistanceOracle, OracleRouter],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    limits: Optional[ServingLimits] = None,
+) -> AsyncServerHandle:
+    """Start the async front end on a background event-loop thread and
+    return its :class:`AsyncServerHandle` (``port=0`` picks a free
+    port).  The foreground CLI path is ``serve(frontend="async")``."""
+    if isinstance(oracle, OracleRouter):
+        router = oracle
+    else:
+        router = OracleRouter()
+        router.mount(oracle.artifact.variant, oracle, limits=limits)
+    server = AsyncOracleServer(router, host=host, port=port, limits=limits)
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="oracle-async-loop", daemon=True
+    )
+    thread.start()
+    asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=30)
+    return AsyncServerHandle(server, loop, thread)
+
+
+def _announce(router: OracleRouter, base: str) -> None:
+    """The startup lines both front ends print (smoke tests parse the
+    ``healthz`` line for the bound address — keep them identical)."""
+    for name in router.names:
+        oracle = router.service(name).oracle
+        print(
+            f"serving {name!r}: variant={oracle.artifact.variant} "
+            f"(n={oracle.n}, kind={oracle.kind}) at {base}/query/{name}"
+        )
+    if len(router.names) == 1:
+        print(f"single artifact: bare {base}/query also routes to it")
+    print(f"GET {base}/info (merged), GET {base}/healthz", flush=True)
+
+
+def _serve_async(
+    router: OracleRouter,
+    host: str,
+    port: int,
+    limits: Optional[ServingLimits],
+    install_signal_handlers: bool,
+) -> None:
+    """The foreground body of ``serve(frontend="async")``."""
+
+    async def _run() -> None:
+        server = AsyncOracleServer(router, host=host, port=port, limits=limits)
+        await server.start()
+        bound_host, bound_port = server.server_address
+        _announce(router, f"http://{bound_host}:{bound_port}")
+        if (
+            install_signal_handlers
+            and threading.current_thread() is threading.main_thread()
+        ):
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.drain())
+                )
+        await server.wait_stopped()
+        server._executor.shutdown(wait=True)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        return
+    # wait_stopped only returns after a completed drain.
+    print("drained in-flight requests; shutting down")
+
+
 def serve(
     artifacts: Union[str, Sequence[Tuple]],
     host: str = "127.0.0.1",
@@ -634,6 +1179,7 @@ def serve(
     cache_size: Optional[int] = None,
     limits: Optional[ServingLimits] = None,
     install_signal_handlers: bool = True,
+    frontend: str = "threaded",
 ) -> None:
     """Load one or many artifacts and serve them forever (the
     ``repro serve`` body).
@@ -643,28 +1189,30 @@ def serve(
     defaults to the manifest variant) for multi-artifact routing with
     per-mount overrides.
 
+    ``frontend`` selects the transport: ``"threaded"`` (default, one
+    thread per connection) or ``"async"`` (keep-alive + request
+    coalescing; see :class:`AsyncOracleServer`).
+
     SIGTERM/SIGINT (when handlers can be installed — main thread only)
     triggers the graceful drain: ``/healthz`` flips to draining, new
     queries are shed with ``503``, in-flight requests finish up to
     ``limits.drain_timeout_s``, and the function returns (exit 0).
     """
+    if frontend not in FRONTENDS:
+        raise ValueError(
+            f"unknown frontend {frontend!r}; expected one of {FRONTENDS}"
+        )
     if isinstance(artifacts, str):
         artifacts = [(None, artifacts)]
     router = OracleRouter.load(
         artifacts, mmap=mmap, cache_size=cache_size, limits=limits
     )
+    if frontend == "async":
+        _serve_async(router, host, port, limits, install_signal_handlers)
+        return
     server = make_server(router, host=host, port=port, limits=limits)
     bound_host, bound_port = server.server_address[:2]
-    base = f"http://{bound_host}:{bound_port}"
-    for name in router.names:
-        oracle = router.service(name).oracle
-        print(
-            f"serving {name!r}: variant={oracle.artifact.variant} "
-            f"(n={oracle.n}, kind={oracle.kind}) at {base}/query/{name}"
-        )
-    if len(router.names) == 1:
-        print(f"single artifact: bare {base}/query also routes to it")
-    print(f"GET {base}/info (merged), GET {base}/healthz")
+    _announce(router, f"http://{bound_host}:{bound_port}")
 
     if (
         install_signal_handlers

@@ -261,7 +261,7 @@ _VARIANTS: Dict[str, VariantSpec] = {}
 #: Known artifact kinds.  A new kind must be added here *and* given an
 #: engine branch (``oracle/engine.py``) plus a ``_KIND_ARRAYS`` entry
 #: (``oracle/artifact.py``) — see DESIGN.md §1 "Adding a variant".
-ARTIFACT_KINDS = ("matrix", "bunches", "sources")
+ARTIFACT_KINDS = ("matrix", "bunches", "sources", "edges")
 
 
 def register_variant(spec: VariantSpec) -> VariantSpec:

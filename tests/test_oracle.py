@@ -99,7 +99,7 @@ class TestBuild:
         assert m["format_version"] == oracle.FORMAT_VERSION
         assert m["n"] == served_graph.n
         assert m["graph_hash"] == graph_fingerprint(served_graph)
-        assert m["kind"] in ("matrix", "bunches", "sources")
+        assert m["kind"] in ("matrix", "bunches", "sources", "edges")
         assert float(m["multiplicative"]) >= 1.0
         assert float(m["additive"]) >= 0.0
         json.dumps(m)  # the whole manifest must be JSON-serializable

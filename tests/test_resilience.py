@@ -50,6 +50,7 @@ from repro.oracle import (
     load_artifact,
     make_server,
     save_artifact,
+    start_async_server,
 )
 from repro.oracle.faults import FaultInjector
 
@@ -445,8 +446,11 @@ def _post(base, body, path="/query", timeout=5):
 
 
 class TestHTTPChaos:
-    @pytest.fixture
-    def server(self, bunches_artifact):
+    # Every HTTP-level chaos scenario runs against BOTH front ends: the
+    # typed-error / drain / disconnect contracts are frontend-agnostic
+    # (ISSUE 7 acceptance).
+    @pytest.fixture(params=["threaded", "async"])
+    def server(self, request, bunches_artifact):
         limits = dataclasses.replace(
             oracle.DEFAULT_LIMITS,
             max_inflight=2, max_batch=64, max_body_bytes=4096,
@@ -454,6 +458,14 @@ class TestHTTPChaos:
         )
         router = OracleRouter()
         router.mount("tz", DistanceOracle(bunches_artifact), limits=limits)
+        if request.param == "async":
+            handle = start_async_server(router, port=0, limits=limits)
+            host, port = handle.server_address[:2]
+            try:
+                yield handle, f"http://{host}:{port}"
+            finally:
+                handle.drain_and_shutdown()
+            return
         server = make_server(router, port=0, limits=limits)
         thread = threading.Thread(target=server.serve_forever, daemon=True)
         thread.start()
@@ -620,8 +632,9 @@ class TestHTTPChaos:
 # ----------------------------------------------------------------------
 
 class TestSigtermDrain:
+    @pytest.mark.parametrize("frontend", ["threaded", "async"])
     def test_sigterm_drains_inflight_and_exits_zero(
-        self, matrix_artifact, tmp_path
+        self, matrix_artifact, tmp_path, frontend
     ):
         path = str(tmp_path / "a")
         save_artifact(matrix_artifact, path)
@@ -635,7 +648,8 @@ class TestSigtermDrain:
         env["REPRO_FAULTS"] = "service.handle=delay:seconds=0.8"
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve",
-             "--artifact", path, "--port", "0", "--drain-timeout", "10"],
+             "--artifact", path, "--port", "0", "--drain-timeout", "10",
+             "--frontend", frontend],
             env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True,
         )
@@ -788,6 +802,29 @@ class TestMountOverrides:
         assert router.service("na").oracle._cache_size == 17
         assert router.service("tz").oracle._cache_size == 99
 
+    def test_backend_override_per_mount(
+        self, matrix_artifact, bunches_artifact, tmp_path
+    ):
+        pa, pb = str(tmp_path / "a"), str(tmp_path / "b")
+        save_artifact(matrix_artifact, pa)
+        save_artifact(bunches_artifact, pb)
+        router = OracleRouter.load(
+            [("na", pa, {"backend": "reference"}), ("tz", pb)]
+        )
+        assert router.service("na").oracle._backend == "reference"
+        assert router.service("tz").oracle._backend is None
+        # The pinned mount still answers.
+        status, body = router.service("na").handle({"u": 0, "v": 1})
+        assert status == 200
+
+    def test_unknown_backend_override_fails_loudly(
+        self, matrix_artifact, tmp_path
+    ):
+        pa = str(tmp_path / "a")
+        save_artifact(matrix_artifact, pa)
+        with pytest.raises(ArtifactError, match="unknown backend"):
+            OracleRouter.load([("na", pa, {"backend": "bogus"})])
+
     def test_unknown_mount_option_fails_loudly(self, matrix_artifact, tmp_path):
         pa = str(tmp_path / "a")
         save_artifact(matrix_artifact, pa)
@@ -796,11 +833,13 @@ class TestMountOverrides:
 
     def test_cli_mount_parsing(self):
         mounts = cli._parse_artifact_mounts(
-            ["na=/tmp/a,cache_size=1000", "/tmp/b"]
+            ["na=/tmp/a,cache_size=1000", "/tmp/b,backend=csr"]
         )
         assert mounts == [("na", "/tmp/a", {"cache_size": 1000}),
-                          (None, "/tmp/b")]
+                          (None, "/tmp/b", {"backend": "csr"})]
         with pytest.raises(ArtifactError, match="unknown mount option"):
             cli._parse_artifact_mounts(["na=/tmp/a,cache_sizd=1"])
         with pytest.raises(ArtifactError, match="not a valid int"):
             cli._parse_artifact_mounts(["na=/tmp/a,cache_size=lots"])
+        with pytest.raises(ArtifactError, match="unknown backend"):
+            cli._parse_artifact_mounts(["na=/tmp/a,backend=bogus"])

@@ -68,10 +68,10 @@ class TestRegistry:
         specs = variants.all_variants()
         assert {s.name for s in specs} >= {
             "near-additive", "2eps", "3eps", "exact", "squaring",
-            "spanner", "mssp", "tz",
+            "spanner", "mssp", "tz", "emulator-sssp",
         }
         for spec in specs:
-            assert spec.kind in ("matrix", "bunches", "sources")
+            assert spec.kind in ("matrix", "bunches", "sources", "edges")
             assert spec.summary and spec.guarantee
             assert callable(spec.build)
             assert spec.stretch is None or callable(spec.stretch)
@@ -241,6 +241,72 @@ class TestSourcesKind:
         u, v = [x for x in range(mssp_artifact.n) if x not in sources][:2]
         with pytest.raises(ArtifactError, match="touches no source"):
             eng.query(u, v)
+
+
+class TestEdgesKind:
+    """The ``emulator-sssp`` variant: O(emulator) storage, SSSP at
+    query time (ISSUE 7 satellite)."""
+
+    @pytest.fixture(scope="class")
+    def edges_artifact(self, small_graph):
+        return build_oracle(
+            small_graph, variant="emulator-sssp",
+            rng=np.random.default_rng(7),
+        )
+
+    def test_within_guarantee_and_sound(self, small_graph, edges_artifact):
+        from repro.graph.distances import all_pairs_distances
+
+        exact = all_pairs_distances(small_graph)
+        eng = DistanceOracle(edges_artifact, cache_size=0)
+        n = small_graph.n
+        us, vs = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        vals = eng.query_batch(us.ravel(), vs.ravel()).reshape(n, n)
+        finite = np.isfinite(exact)
+        assert (vals[finite] >= exact[finite] - 1e-9).all()  # sound
+        bound = (edges_artifact.multiplicative * exact[finite]
+                 + edges_artifact.additive)
+        assert (vals[finite] <= bound + 1e-9).all()
+        assert (vals[~finite] == np.inf).all()
+
+    def test_save_load_query_bit_identical(self, edges_artifact, tmp_path):
+        spec = variants.get_variant("emulator-sssp")
+        us, vs = _query_pairs(spec, edges_artifact, count=80)
+        fresh = DistanceOracle(edges_artifact, cache_size=0)
+        path = str(tmp_path / "es")
+        save_artifact(edges_artifact, path)
+        loaded = DistanceOracle.load(path, cache_size=0)
+        assert np.array_equal(
+            fresh.query_batch(us, vs), loaded.query_batch(us, vs)
+        )
+
+    def test_backends_bit_identical(self, edges_artifact):
+        spec = variants.get_variant("emulator-sssp")
+        us, vs = _query_pairs(spec, edges_artifact, count=80)
+        base = DistanceOracle(edges_artifact, cache_size=0).query_batch(us, vs)
+        for backend in ("reference", "dense", "csr"):
+            eng = DistanceOracle(
+                edges_artifact, cache_size=0, backend=backend
+            )
+            assert np.array_equal(base, eng.query_batch(us, vs)), backend
+
+    def test_storage_is_subquadratic(self, edges_artifact, small_graph):
+        n = small_graph.n
+        stored = edges_artifact.arrays["emu_us"].size
+        assert stored < n * n / 2  # the point of the edges kind
+
+    def test_path_queries_work(self, edges_artifact, small_graph):
+        from repro.graph.distances import all_pairs_distances
+
+        exact = all_pairs_distances(small_graph)
+        eng = DistanceOracle(edges_artifact, cache_size=0)
+        u, v = 0, int(np.flatnonzero(np.isfinite(exact[0]))[-1])
+        path = eng.path(u, v)
+        assert path[0] == u and path[-1] == v
+
+    def test_unknown_backend_rejected(self, edges_artifact):
+        with pytest.raises(ArtifactError, match="unknown backend"):
+            DistanceOracle(edges_artifact, backend="bogus")
 
 
 class TestMmap:
