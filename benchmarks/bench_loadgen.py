@@ -1,0 +1,136 @@
+"""E21 — the load-harness sweep: every workload profile x both front ends.
+
+E20 measured one workload shape (uniform closed-loop singles).  The
+PR 8 load harness (:mod:`repro.loadgen`, DESIGN.md §8) makes the rest
+of the serving claims measurable; this benchmark records the full
+profile x front-end matrix over one ``exact`` artifact (plus the
+``multi_tenant`` profile's own three-variant mount set):
+
+* ``uniform_random`` / ``zipf_hotspot`` — closed-loop singles; the
+  Zipf run's engine cache-hit counters show the LRU earning its keep;
+* ``batch_single_mix`` — mixed explicit batches + singles
+  (``query_qps`` counts member pairs, so the engine-level rate is
+  visible next to the HTTP request rate);
+* ``multi_tenant`` — the same driver fanned over three mounted
+  variants through ``POST /query/<name>`` routing;
+* ``burst`` — open-loop simultaneous arrival packets, the shape that
+  would stress admission control (headroom limits here: this
+  experiment measures throughput; the 503 path is the chaos suite's
+  job, ``tests/test_loadgen.py::TestChaosAccounting``).
+
+Every run asserts zero failures and, per profile, bit-identical
+per-query answers across the two front ends (the harness's
+ordered-answers digest).  Writes ``benchmarks/results/E21.{txt,json}``
+and merges a ``loadgen`` key into the repo-root ``BENCH_kernels.json``.
+Runnable directly (``python benchmarks/bench_loadgen.py``; ``--quick``
+for the file-free CI smoke) or through the pytest entry point.
+"""
+
+import dataclasses
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from conftest import record_experiment  # noqa: E402
+from repro import loadgen, oracle  # noqa: E402
+from repro.analysis import format_table  # noqa: E402
+
+SEED = 61
+ROOT_JSON = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernels.json")
+
+#: Admission must never shed load here — the benchmark measures
+#: throughput, not the 503 path (that's the chaos suite's job).
+_LIMITS = dataclasses.replace(oracle.DEFAULT_LIMITS, max_inflight=4096)
+
+
+def run(quick=False):
+    """The full sweep: every registered profile, both front ends."""
+    knobs = loadgen.QUICK if quick else loadgen.DEFAULTS
+    results = []
+    for name in loadgen.profile_names():
+        report = loadgen.run(
+            name,
+            frontends=oracle.FRONTENDS,
+            seed=SEED,
+            limits=_LIMITS,
+            quick=quick,
+            n=knobs["n"],
+        )
+        assert report["identical_across_frontends"], (
+            f"profile {name}: answers differ across front ends"
+        )
+        for frontend, r in report["frontends"].items():
+            assert r["failures"]["total"] == 0, (
+                f"profile {name} on {frontend}: "
+                f"{r['failures']['by_status']}"
+            )
+            results.append(r)
+    return results
+
+
+def _result_table(results):
+    rows = []
+    for r in results:
+        lat = r["latency_ms"]
+        coalescing = r["server"].get("coalescing")
+        rows.append([
+            r["profile"], r["frontend"], r["driver"], r["requests"],
+            f"{r['qps']:.0f}", f"{r['query_qps']:.0f}",
+            f"{lat['p50']:.2f}", f"{lat['p95']:.2f}", f"{lat['p99']:.2f}",
+            f"{lat['max']:.2f}",
+            f"{coalescing['mean_batch']:.1f}" if coalescing else "-",
+            f"{r['failures']['rate']:.3f}",
+        ])
+    return format_table(
+        ["profile", "frontend", "driver", "req", "q/s", "query q/s",
+         "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)", "mean batch",
+         "fail rate"],
+        rows,
+    )
+
+
+def _update_root_json(results):
+    payload = {}
+    if os.path.exists(ROOT_JSON):
+        with open(ROOT_JSON) as fh:
+            payload = json.load(fh)
+    payload["loadgen"] = {
+        "seed": SEED,
+        "profiles": sorted({r["profile"] for r in results}),
+        "results": results,
+    }
+    with open(ROOT_JSON, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def persist(results):
+    table = _result_table(results)
+    record_experiment(
+        "E21", "load harness: workload profiles x serving front ends",
+        table, payload=results,
+    )
+    _update_root_json(results)
+    return table
+
+
+def test_loadgen_sweep():
+    """Acceptance (ISSUE 8): every profile runs clean on both front
+    ends with bit-identical answers; results recorded as E21."""
+    persist(run())
+
+
+def smoke():
+    """File-free quick pass (CI's crash detector for the sweep)."""
+    results = run(quick=True)
+    print(_result_table(results))
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        smoke()
+    else:
+        persist(run())

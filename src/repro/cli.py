@@ -53,7 +53,7 @@ from typing import List, Optional
 import numpy as np
 
 from .analysis import evaluate_stretch, format_table
-from . import kernels, oracle, variants
+from . import kernels, loadgen, oracle, variants
 from .emulator import build_emulator_cc
 from .derand import build_emulator_deterministic
 from .graph import WeightedGraph, generators
@@ -288,6 +288,75 @@ def build_parser() -> argparse.ArgumentParser:
     mmap_flag(p_serve)
     backend_flag(p_serve)
 
+    profile_lines = [
+        f"  {p.name:<18} [{p.driver}-loop] {p.summary}"
+        for p in loadgen.all_profiles()
+    ]
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a workload profile against the serving stack and "
+             "write a JSON metrics report",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="profiles:\n" + "\n".join(profile_lines),
+    )
+    p_load.add_argument(
+        "--profile", required=True, choices=loadgen.profile_names(),
+        help="workload profile to run (see list below)",
+    )
+    p_load.add_argument(
+        "--frontend", default="both", choices=oracle.FRONTENDS + ("both",),
+        help="HTTP front end(s) to drive; 'both' also cross-checks that "
+             "the two return bit-identical answers (default %(default)s)",
+    )
+    p_load.add_argument(
+        "--artifact", action="append", default=None,
+        help="prebuilt artifact to mount: PATH or NAME=PATH[,key=value]; "
+             "repeat for multi-tenant runs.  Omit to build an in-memory "
+             "tenant from --family/--n/--variant",
+    )
+    p_load.add_argument("--family", default=None,
+                        choices=generators.FAMILIES,
+                        help="graph family for built tenants")
+    p_load.add_argument("--n", type=int, default=None,
+                        help="graph size for built tenants")
+    p_load.add_argument(
+        "--variant", default=None,
+        choices=[s.name for s in variants.all_variants()],
+        help="oracle variant for built tenants (multi_tenant builds "
+             "its own fixed set)",
+    )
+    p_load.add_argument("--seed", type=int, default=0,
+                        help="workload + tenant seed (default %(default)s)")
+    p_load.add_argument("--requests", type=int, default=None,
+                        help="requests per front end run")
+    p_load.add_argument("--concurrency", type=int, default=None,
+                        help="closed-loop worker clients")
+    p_load.add_argument("--rate", type=float, default=None,
+                        help="open-loop Poisson arrival rate (req/s)")
+    p_load.add_argument(
+        "--driver", default=None, choices=loadgen.DRIVERS,
+        help="override the profile's default driver",
+    )
+    p_load.add_argument(
+        "--params", default=None,
+        help="profile parameters as k=v[,k=v...] (e.g. skew=2.0 for "
+             "zipf_hotspot; see DESIGN.md §8)",
+    )
+    p_load.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="per-mount admission-control bound for the driven server "
+             "(default: serving default)",
+    )
+    p_load.add_argument(
+        "--quick", action="store_true",
+        help="small smoke run (fewer requests, smaller built tenant)",
+    )
+    p_load.add_argument(
+        "--out", default=None,
+        help="JSON report path (default loadgen-<profile>.json)",
+    )
+    mmap_flag(p_load)
+
     p_verify = sub.add_parser(
         "verify-artifact",
         help="recompute every array's SHA-256 against the manifest "
@@ -311,6 +380,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         kernels.set_default_backend(args.backend)
         if args.backend == "parallel":
             print(f"kernel backend: parallel ({kernels.parallel_mode()})")
+
+    if args.command == "loadgen":
+        try:
+            return _main_loadgen(args)
+        except (
+            loadgen.LoadgenError,
+            variants.VariantError,
+            oracle.ArtifactError,
+        ) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except oracle.OracleClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
 
     if args.command in ("query", "serve", "verify-artifact"):
         try:
@@ -525,6 +608,73 @@ def _parse_artifact_mounts(entries):
                 )
         mounts.append((name, path, options) if options else (name, path))
     return mounts
+
+
+def _main_loadgen(args) -> int:
+    """``repro loadgen``: drive one profile, print the metrics table,
+    write the JSON report."""
+    frontends = (
+        oracle.FRONTENDS if args.frontend == "both" else (args.frontend,)
+    )
+    limits = None
+    if args.max_inflight is not None:
+        import dataclasses
+
+        limits = dataclasses.replace(
+            oracle.DEFAULT_LIMITS, max_inflight=args.max_inflight
+        )
+    mounts = (
+        _parse_artifact_mounts(args.artifact) if args.artifact else None
+    )
+    report = loadgen.run(
+        args.profile,
+        frontends=frontends,
+        mounts=mounts,
+        family=args.family,
+        n=args.n,
+        variant=args.variant,
+        seed=args.seed,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        driver=args.driver,
+        params=_parse_cli_params(args.params) or None,
+        limits=limits,
+        quick=args.quick,
+    )
+
+    tenants = ", ".join(
+        f"{t['name']}({t['variant']}, n={t['n']})" for t in report["tenants"]
+    )
+    print(f"profile: {args.profile}  seed={args.seed}  tenants: {tenants}")
+    rows = []
+    for fe, r in report["frontends"].items():
+        lat = r["latency_ms"]
+
+        def ms(v):
+            return "-" if v is None else f"{v:.2f}"
+
+        rows.append([
+            fe, r["driver"], r["requests"], r["ok"],
+            f"{r['failures']['rate']:.3f}",
+            f"{r['qps']:.0f}", f"{r['query_qps']:.0f}",
+            ms(lat["p50"]), ms(lat["p95"]), ms(lat["p99"]), ms(lat["max"]),
+            f"{r['duration_s']:.2f}",
+        ])
+    print(format_table(
+        ["frontend", "driver", "req", "ok", "fail_rate", "qps",
+         "query_qps", "p50_ms", "p95_ms", "p99_ms", "max_ms", "dur_s"],
+        rows,
+    ))
+    if "identical_across_frontends" in report:
+        print(
+            "answers identical across frontends: "
+            f"{report['identical_across_frontends']}"
+        )
+    out = args.out or f"loadgen-{args.profile}.json"
+    loadgen.write_report(report, out)
+    print(f"report: {out}")
+    return 0
 
 
 def _main_serving(args) -> int:

@@ -1,0 +1,381 @@
+"""The run harness: profile x driver x front end -> one JSON report.
+
+This is the llm-d-benchmark "launcher" equivalent for the oracle
+serving stack: pick a named :class:`~repro.loadgen.profiles.WorkloadProfile`,
+mount one or more artifacts behind a real HTTP front end (``threaded``
+or ``async`` — the same code paths ``repro serve`` runs), drive the
+profile's deterministic request sequence with the matching driver, and
+reduce the outcomes to the fixed metrics table
+(:mod:`repro.loadgen.metrics`), annotated with the server's own
+counters scraped from ``GET /info`` — coalescing stats, admission
+admitted/rejected, engine cache hits — so a report can be
+cross-checked against what the server says happened (the chaos suite
+asserts the two agree exactly).
+
+The sweep axes come from the registries: profiles from
+:func:`repro.loadgen.profiles.all_profiles`, variants from
+:mod:`repro.variants` (:func:`sweepable_variants` lists every
+oracle-buildable ``(variant, kind)`` — the same derivation PR 5's
+benchmark plans use), front ends from :data:`repro.oracle.FRONTENDS`.
+
+Entry points: :func:`run` (build tenants once, run one profile against
+one or more front ends, compare answers bit-for-bit) backs the
+``repro loadgen`` CLI and the E21 benchmark; :func:`run_profile` is the
+single-(profile, frontend) core the tests drive directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import variants
+from ..graph import generators
+from ..oracle import (
+    DEFAULT_LIMITS,
+    DistanceOracle,
+    FRONTENDS,
+    OracleClient,
+    OracleRouter,
+    ServingLimits,
+    build_oracle,
+    make_server,
+    start_async_server,
+)
+from .drivers import run_closed_loop, run_open_loop
+from .metrics import QueryOutcome, answers_digest, summarize
+from .profiles import (
+    LoadgenError,
+    ProfileContext,
+    get_profile,
+)
+
+__all__ = [
+    "build_tenants",
+    "load_mounts",
+    "run",
+    "run_profile",
+    "sweepable_variants",
+    "write_report",
+]
+
+#: Default knobs for a full run and the ``--quick`` smoke.
+DEFAULTS = {
+    "family": "er_sparse", "n": 256, "variant": "exact",
+    "requests": 400, "concurrency": 16, "rate": 400.0,
+}
+QUICK = {
+    "family": "er_sparse", "n": 96, "variant": "exact",
+    "requests": 96, "concurrency": 8, "rate": 600.0,
+}
+
+#: Variants a multi-tenant run mounts when none are given explicitly:
+#: one per artifact kind family, cheapest-to-build first.  Validated
+#: against the registry at use (a renamed variant fails loudly here).
+DEFAULT_TENANT_VARIANTS = ("exact", "tz", "near-additive")
+
+
+def sweepable_variants() -> Tuple[Tuple[str, str], ...]:
+    """Every oracle-buildable ``(variant, kind)`` pair, from the PR 5
+    registry — the sweep axis that makes each serving variant
+    loadgen-coverable without the harness naming any of them."""
+    return tuple((s.name, s.kind) for s in variants.all_variants())
+
+
+# ----------------------------------------------------------------------
+# Tenants: build or load the mounted oracles
+# ----------------------------------------------------------------------
+
+def build_tenants(
+    profile_name: str,
+    family: str = DEFAULTS["family"],
+    n: int = DEFAULTS["n"],
+    variant: str = DEFAULTS["variant"],
+    seed: int = 0,
+) -> List[Tuple[str, DistanceOracle]]:
+    """Build in-memory tenant oracles for one profile run: a single
+    ``variant`` artifact normally, or one artifact per
+    :data:`DEFAULT_TENANT_VARIANTS` entry (all over the *same* graph)
+    when the profile needs multiple tenants."""
+    profile = get_profile(profile_name)
+    if profile.min_tenants > 1:
+        names = DEFAULT_TENANT_VARIANTS
+    else:
+        names = (variant,)
+    for name in names:
+        variants.get_variant(name)  # unknown names fail before building
+    g = generators.make_family(family, n, seed=seed)
+    rng = np.random.default_rng(seed)
+    return [
+        (name, DistanceOracle(build_oracle(g, variant=name, rng=rng)))
+        for name in names
+    ]
+
+
+def load_mounts(
+    mounts: Sequence[Tuple], mmap: bool = False
+) -> List[Tuple[str, DistanceOracle]]:
+    """Load prebuilt artifacts from ``(name, path)`` /
+    ``(name, path, options)`` mount tuples — the same shape
+    ``repro serve --artifact`` parses; ``name=None`` defaults to the
+    manifest variant."""
+    out: List[Tuple[str, DistanceOracle]] = []
+    for item in mounts:
+        name, path = item[0], item[1]
+        options = dict(item[2]) if len(item) > 2 else {}
+        kwargs = {}
+        if "cache_size" in options:
+            kwargs["cache_size"] = int(options.pop("cache_size"))
+        if "backend" in options:
+            kwargs["backend"] = options.pop("backend")
+        if options:
+            raise LoadgenError(
+                f"unknown mount option(s) {sorted(options)} for "
+                f"loadgen artifact {name or path!r}"
+            )
+        oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
+        out.append((name or oracle.artifact.variant, oracle))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Server lifecycle (both front ends behind one surface)
+# ----------------------------------------------------------------------
+
+def _start_frontend(
+    frontend: str,
+    oracles: Sequence[Tuple[str, DistanceOracle]],
+    limits: Optional[ServingLimits],
+):
+    """Start one front end over the mounted oracles; returns
+    ``(base_url, stop_callable)``."""
+    if frontend not in FRONTENDS:
+        raise LoadgenError(
+            f"unknown frontend {frontend!r}; expected one of {FRONTENDS}"
+        )
+    router = OracleRouter()
+    for name, oracle in oracles:
+        router.mount(name, oracle, limits=limits)
+    if frontend == "async":
+        handle = start_async_server(router, limits=limits)
+        base = "http://%s:%s" % handle.server_address[:2]
+        return base, handle.drain_and_shutdown
+    server = make_server(router, limits=limits)
+    thread = threading.Thread(
+        target=server.serve_forever, name="loadgen-threaded", daemon=True
+    )
+    thread.start()
+    base = "http://%s:%s" % server.server_address[:2]
+
+    def stop():
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    return base, stop
+
+
+def scrape_info(base_url: str, timeout_s: float = 10.0) -> Dict[str, object]:
+    """One ``GET /info`` snapshot (merged, all mounts)."""
+    with OracleClient(base_url, max_attempts=1, timeout_s=timeout_s) as client:
+        status, body = client.info()
+    if status != 200:
+        raise LoadgenError(f"GET /info returned {status}: {body}")
+    return body
+
+
+def _server_section(info: Dict[str, object]) -> Dict[str, object]:
+    """The report's ``server`` block: per-mount admission/cache/coalesce
+    counters plus an aggregate coalescing rollup (sum over mounts)."""
+    artifacts = info.get("artifacts", {})
+    per_mount = {}
+    agg = {"batches": 0, "coalesced": 0, "largest_batch": 0}
+    any_coalescing = False
+    for name, entry in artifacts.items():
+        mount = {
+            "serving": entry.get("serving"),
+            "engine": entry.get("stats"),
+        }
+        coalescing = entry.get("coalescing")
+        if coalescing is not None:
+            any_coalescing = True
+            mount["coalescing"] = coalescing
+            agg["batches"] += int(coalescing.get("batches", 0))
+            agg["coalesced"] += int(coalescing.get("coalesced", 0))
+            agg["largest_batch"] = max(
+                agg["largest_batch"], int(coalescing.get("largest_batch", 0))
+            )
+        per_mount[name] = mount
+    section: Dict[str, object] = {
+        "http": info.get("http"),
+        "mounts": per_mount,
+    }
+    if any_coalescing:
+        agg["mean_batch"] = (
+            agg["coalesced"] / agg["batches"] if agg["batches"] else 0.0
+        )
+        section["coalescing"] = agg
+    return section
+
+
+# ----------------------------------------------------------------------
+# Run one (profile, frontend)
+# ----------------------------------------------------------------------
+
+def run_profile(
+    profile_name: str,
+    frontend: str,
+    oracles: Sequence[Tuple[str, DistanceOracle]],
+    *,
+    requests: int = DEFAULTS["requests"],
+    concurrency: int = DEFAULTS["concurrency"],
+    rate: float = DEFAULTS["rate"],
+    seed: int = 0,
+    driver: Optional[str] = None,
+    params: Optional[Dict[str, object]] = None,
+    limits: Optional[ServingLimits] = None,
+    open_workers: Optional[int] = None,
+    timeout_s: float = 30.0,
+) -> Tuple[Dict[str, object], List[QueryOutcome]]:
+    """Drive one profile against one front end; returns
+    ``(report, outcomes)``.
+
+    The report is the per-run metrics block from
+    :func:`repro.loadgen.metrics.summarize` plus run identity (profile,
+    resolved params, seed, driver), driver stats, the scraped server
+    counters, and the ordered-answers digest the fidelity check
+    compares.  ``driver=None`` uses the profile's default; ``limits``
+    defaults to the stock :data:`~repro.oracle.DEFAULT_LIMITS`.
+    """
+    profile = get_profile(profile_name)
+    ctx = ProfileContext(
+        tenants=tuple((name, o.n) for name, o in oracles),
+        requests=int(requests),
+        seed=int(seed),
+    )
+    resolved = profile.resolve_params(params, n=ctx.first_tenant[1])
+    reqs = profile.build_requests(ctx, **resolved)
+    drv = driver or profile.driver
+    base, stop = _start_frontend(frontend, oracles, limits or DEFAULT_LIMITS)
+    try:
+        if drv == "closed":
+            duration, outcomes, driver_stats = run_closed_loop(
+                base, reqs, concurrency, timeout_s=timeout_s
+            )
+        elif drv == "open":
+            offsets = profile.build_schedule(ctx, rate, **resolved)
+            duration, outcomes, driver_stats = run_open_loop(
+                base, reqs, offsets, workers=open_workers,
+                timeout_s=timeout_s,
+            )
+        else:
+            raise LoadgenError(
+                f"unknown driver {drv!r}; expected 'closed' or 'open'"
+            )
+        info = scrape_info(base)
+    finally:
+        stop()
+    report = summarize(outcomes, duration)
+    report.update({
+        "profile": profile.name,
+        "frontend": frontend,
+        "driver": drv,
+        "seed": int(seed),
+        "params": resolved,
+        "tenants": [name for name, _ in oracles],
+        "driver_stats": driver_stats,
+        "server": _server_section(info),
+        "answers_digest": answers_digest(outcomes),
+    })
+    return report, outcomes
+
+
+# ----------------------------------------------------------------------
+# Run a whole sweep (the CLI / benchmark entry point)
+# ----------------------------------------------------------------------
+
+def run(
+    profile_name: str,
+    frontends: Sequence[str] = FRONTENDS,
+    *,
+    oracles: Optional[Sequence[Tuple[str, DistanceOracle]]] = None,
+    mounts: Optional[Sequence[Tuple]] = None,
+    family: Optional[str] = None,
+    n: Optional[int] = None,
+    variant: Optional[str] = None,
+    seed: int = 0,
+    requests: Optional[int] = None,
+    concurrency: Optional[int] = None,
+    rate: Optional[float] = None,
+    driver: Optional[str] = None,
+    params: Optional[Dict[str, object]] = None,
+    limits: Optional[ServingLimits] = None,
+    quick: bool = False,
+    timeout_s: float = 30.0,
+) -> Dict[str, object]:
+    """One profile against one or more front ends, tenants built once.
+
+    Tenant sources, in precedence order: ``oracles`` (pre-built
+    engines), ``mounts`` (on-disk artifact mount tuples), else built
+    from ``family``/``n``/``variant``.  Explicit knobs beat the
+    ``quick``/full defaults.  When two or more front ends run, the
+    report carries ``identical_across_frontends`` — ordered
+    answers-digest equality, i.e. bit-identical per-query results.
+    """
+    base_knobs = QUICK if quick else DEFAULTS
+    family = family or base_knobs["family"]
+    n = n or base_knobs["n"]
+    variant = variant or base_knobs["variant"]
+    requests = requests or base_knobs["requests"]
+    concurrency = concurrency or base_knobs["concurrency"]
+    rate = rate or base_knobs["rate"]
+
+    if oracles is None:
+        if mounts:
+            oracles = load_mounts(mounts)
+        else:
+            oracles = build_tenants(
+                profile_name, family=family, n=n, variant=variant, seed=seed
+            )
+
+    per_frontend: Dict[str, Dict[str, object]] = {}
+    for frontend in frontends:
+        report, _ = run_profile(
+            profile_name, frontend, oracles,
+            requests=requests, concurrency=concurrency, rate=rate,
+            seed=seed, driver=driver, params=params, limits=limits,
+            timeout_s=timeout_s,
+        )
+        per_frontend[frontend] = report
+
+    full: Dict[str, object] = {
+        "profile": profile_name,
+        "seed": int(seed),
+        "requests": int(requests),
+        "quick": bool(quick),
+        "tenants": [
+            {"name": name, "variant": o.artifact.variant,
+             "kind": o.kind, "n": o.n}
+            for name, o in oracles
+        ],
+        "frontends": per_frontend,
+    }
+    if len(per_frontend) > 1:
+        digests = {r["answers_digest"] for r in per_frontend.values()}
+        full["identical_across_frontends"] = len(digests) == 1
+    return full
+
+
+def write_report(report: Dict[str, object], path: str) -> str:
+    """Persist one report as JSON (the artifact CI and benchmarks
+    consume); returns the path."""
+    out_dir = os.path.dirname(os.path.abspath(path))
+    os.makedirs(out_dir, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -548,6 +548,11 @@ class OracleHTTPServer(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+    # Deep accept backlog: load shedding is admission control's job
+    # (observable 503s + /info counters), not the kernel's — with the
+    # stdlib default of 5, a burst of simultaneous connects gets reset
+    # at the TCP layer before the resilience layer ever sees it.
+    request_queue_size = 128
     router: OracleRouter
     limits: ServingLimits
 
@@ -823,7 +828,8 @@ class AsyncOracleServer:
             svc.attach_coalescer()
         self._stopped = asyncio.Event()
         self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self.port
+            self._serve_connection, self.host, self.port,
+            backlog=128,  # match OracleHTTPServer.request_queue_size
         )
         self.server_address = self._server.sockets[0].getsockname()[:2]
         return self
