@@ -21,6 +21,11 @@ The public API re-exports the main entry points:
   end; DESIGN.md §6).
 """
 
+# Defined before the submodule imports below: the serving/telemetry
+# layers import it from here (the single source of truth) while this
+# package is still initializing.
+__version__ = "1.0.0"
+
 from . import kernels
 from .graph import Graph, WeightedGraph, generators
 from .cliquesim import CongestedClique, RoundLedger, costs
@@ -61,8 +66,7 @@ from .apsp import (
 from .emulator import build_tz_bunches, build_tz_emulator, emulator_to_spanner
 from .analysis import StretchReport, evaluate_stretch
 from . import oracle
-
-__version__ = "1.0.0"
+from . import telemetry
 
 __all__ = [
     "kernels",
@@ -102,6 +106,8 @@ __all__ = [
     "build_tz_emulator",
     "emulator_to_spanner",
     "oracle",
+    "telemetry",
     "StretchReport",
     "evaluate_stretch",
+    "__version__",
 ]

@@ -52,8 +52,9 @@ from typing import List, Optional
 
 import numpy as np
 
+from . import __version__
 from .analysis import evaluate_stretch, format_table
-from . import kernels, loadgen, oracle, variants
+from . import kernels, loadgen, oracle, telemetry, variants
 from .emulator import build_emulator_cc
 from .derand import build_emulator_deterministic
 from .graph import WeightedGraph, generators
@@ -79,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dory-Parter PODC 2020 shortest-paths reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -177,6 +181,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument(
         "--no-graph", action="store_true",
         help="do not embed the source graph (disables path queries)",
+    )
+    p_build.add_argument(
+        "--profile", action="store_true",
+        help="profile the build: wall time per round-ledger phase, "
+             "printed as a table and stored in the manifest under "
+             "build_profile",
     )
 
     p_query = sub.add_parser(
@@ -284,6 +294,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=None,
         help="per-mount LRU result-cache capacity (mount option "
              "cache_size=N overrides per artifact)",
+    )
+    p_serve.add_argument(
+        "--log-format", default="text", choices=("text", "json"),
+        help="request-log format: human-readable lines or one JSON "
+             "object per line (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="request-log threshold; 2xx logs at debug, 4xx at info, "
+             "5xx at warning (default %(default)s)",
+    )
+    p_serve.add_argument(
+        "--no-telemetry", action="store_true",
+        help="do not enable the metrics registry (GET /metrics scrapes "
+             "as zeros; for overhead comparisons)",
     )
     mmap_flag(p_serve)
     backend_flag(p_serve)
@@ -514,6 +540,7 @@ def _main_build_oracle(args, g, rng) -> int:
         rng=rng,
         include_graph=not args.no_graph,
         params=_parse_cli_params(getattr(args, "params", None)),
+        profile=args.profile,
     )
     oracle.save_artifact(artifact, args.out)
     m = artifact.manifest
@@ -528,8 +555,35 @@ def _main_build_oracle(args, g, rng) -> int:
         print(f"params: {shown}")
     if rounds is not None:
         print(f"preprocessing rounds charged: {rounds:.2f}")
+    if args.profile:
+        _print_build_profile(m)
     print(f"artifact written to {args.out}")
     return 0
+
+
+def _print_build_profile(manifest) -> None:
+    """The ``--profile`` table: wall time per phase joined with the
+    round charges against the same phase names."""
+    profile = manifest.get("build_profile") or {}
+    phases = profile.get("phases") or {}
+    rounds_by_phase = manifest.get("rounds_breakdown") or {}
+    total_s = float(profile.get("total_wall_s") or 0.0)
+    rows = []
+    for phase, slot in phases.items():
+        wall = float(slot["wall_s"])
+        share = (100.0 * wall / total_s) if total_s > 0 else 0.0
+        rnds = rounds_by_phase.get(phase)
+        rows.append([
+            phase,
+            f"{wall * 1000.0:.1f}",
+            f"{share:.1f}%",
+            int(slot["charges"]),
+            "-" if rnds is None else f"{float(rnds):.2f}",
+        ])
+    print(f"build profile (total {total_s * 1000.0:.1f} ms):")
+    print(format_table(
+        ["phase", "wall_ms", "share", "charges", "rounds"], rows
+    ))
 
 
 def _parse_pairs(spec: str):
@@ -692,7 +746,9 @@ def _main_serving(args) -> int:
             drain_timeout_s=args.drain_timeout,
             coalesce_window_ms=args.coalesce_window_ms,
             coalesce_max=args.coalesce_max,
+            telemetry=not args.no_telemetry,
         )
+        telemetry.configure_logging(args.log_format, args.log_level)
         oracle.serve(
             _parse_artifact_mounts(args.artifact),
             host=args.host,

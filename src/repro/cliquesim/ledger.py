@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
+from ..telemetry import profiling as _profiling
+
 __all__ = ["RoundLedger", "PhaseRecord"]
 
 
@@ -44,9 +46,18 @@ class RoundLedger:
     records: List[PhaseRecord] = field(default_factory=list)
 
     def charge(self, rounds: float, phase: str) -> float:
-        """Record ``rounds`` against ``phase`` and return the charge."""
+        """Record ``rounds`` against ``phase`` and return the charge.
+
+        When a :func:`repro.telemetry.profiling.profile_build` block is
+        active, the charge also attributes the wall time since the
+        previous charge to ``phase`` (constructions charge when a
+        phase's work completes, so the elapsed time *is* that phase's).
+        """
         rec = PhaseRecord(phase=phase, rounds=float(rounds))
         self.records.append(rec)
+        prof = _profiling.ACTIVE
+        if prof is not None:
+            prof.mark(phase)
         return rec.rounds
 
     @property

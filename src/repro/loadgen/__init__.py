@@ -39,6 +39,7 @@ from .harness import (
     run,
     run_profile,
     scrape_info,
+    scrape_metrics,
     sweepable_variants,
     write_report,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "run_open_loop",
     "run_profile",
     "scrape_info",
+    "scrape_metrics",
     "summarize",
     "sweepable_variants",
     "uniform_pairs",

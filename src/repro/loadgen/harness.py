@@ -46,6 +46,7 @@ from ..oracle import (
     make_server,
     start_async_server,
 )
+from ..telemetry import MetricsSnapshot, parse_exposition
 from .drivers import run_closed_loop, run_open_loop
 from .metrics import QueryOutcome, answers_digest, summarize
 from .profiles import (
@@ -59,6 +60,7 @@ __all__ = [
     "load_mounts",
     "run",
     "run_profile",
+    "scrape_metrics",
     "sweepable_variants",
     "write_report",
 ]
@@ -188,6 +190,62 @@ def scrape_info(base_url: str, timeout_s: float = 10.0) -> Dict[str, object]:
     return body
 
 
+def scrape_metrics(base_url: str, timeout_s: float = 10.0) -> MetricsSnapshot:
+    """One parsed ``GET /metrics`` snapshot (the registry is
+    process-global, so loadgen scrapes *around* each run and reports the
+    delta — a second front end in the same process starts from the
+    first's counters)."""
+    with OracleClient(base_url, max_attempts=1, timeout_s=timeout_s) as client:
+        return parse_exposition(client.metrics_text())
+
+
+def _metrics_section(delta: MetricsSnapshot) -> Dict[str, object]:
+    """The report's ``server.metrics`` block from a scrape-around
+    delta: request counts by mount/status plus the server-side latency
+    and stage histograms (cumulative buckets, exactly as exposed)."""
+    requests_total: Dict[str, Dict[str, int]] = {}
+    for labels, value in delta.samples.get("repro_requests_total", ()):
+        if value:
+            mount = labels.get("mount", "")
+            requests_total.setdefault(mount, {})[
+                labels.get("status", "")
+            ] = int(value)
+    deadline: Dict[str, int] = {}
+    for labels, value in delta.samples.get(
+        "repro_deadline_exceeded_total", ()
+    ):
+        if value:
+            deadline[labels.get("mount", "")] = int(value)
+    latency = {
+        mount: delta.histogram("repro_request_duration_seconds", mount=mount)
+        for mount in sorted(
+            {
+                labels.get("mount", "")
+                for labels, _ in delta.samples.get(
+                    "repro_request_duration_seconds_count", ()
+                )
+            }
+        )
+    }
+    stages = {
+        stage: delta.histogram("repro_stage_duration_seconds", stage=stage)
+        for stage in sorted(
+            {
+                labels.get("stage", "")
+                for labels, _ in delta.samples.get(
+                    "repro_stage_duration_seconds_count", ()
+                )
+            }
+        )
+    }
+    return {
+        "requests_total": requests_total,
+        "deadline_exceeded_total": deadline,
+        "request_duration_seconds": latency,
+        "stage_duration_seconds": stages,
+    }
+
+
 def _server_section(info: Dict[str, object]) -> Dict[str, object]:
     """The report's ``server`` block: per-mount admission/cache/coalesce
     counters plus an aggregate coalescing rollup (sum over mounts)."""
@@ -262,6 +320,7 @@ def run_profile(
     drv = driver or profile.driver
     base, stop = _start_frontend(frontend, oracles, limits or DEFAULT_LIMITS)
     try:
+        metrics_before = scrape_metrics(base)
         if drv == "closed":
             duration, outcomes, driver_stats = run_closed_loop(
                 base, reqs, concurrency, timeout_s=timeout_s
@@ -277,8 +336,11 @@ def run_profile(
                 f"unknown driver {drv!r}; expected 'closed' or 'open'"
             )
         info = scrape_info(base)
+        metrics_after = scrape_metrics(base)
     finally:
         stop()
+    server = _server_section(info)
+    server["metrics"] = _metrics_section(metrics_after.delta(metrics_before))
     report = summarize(outcomes, duration)
     report.update({
         "profile": profile.name,
@@ -288,7 +350,7 @@ def run_profile(
         "params": resolved,
         "tenants": [name for name, _ in oracles],
         "driver_stats": driver_stats,
-        "server": _server_section(info),
+        "server": server,
         "answers_digest": answers_digest(outcomes),
     })
     return report, outcomes

@@ -52,6 +52,7 @@ import numpy as np
 
 from .. import variants as variants_registry
 from ..graph.graph import Graph, WeightedGraph
+from ..telemetry.profiling import profile_build
 from ..variants import UnknownVariantError, VariantParamError
 from .faults import FAULTS
 
@@ -283,6 +284,7 @@ def build_oracle(
     rng: Optional[np.random.Generator] = None,
     include_graph: bool = True,
     params: Optional[Dict[str, object]] = None,
+    profile: bool = False,
     **extra,
 ) -> OracleArtifact:
     """Run one registered preprocessing variant and snapshot it.
@@ -296,6 +298,12 @@ def build_oracle(
     passes structural builder arguments through (e.g. ``sources=`` for
     the ``mssp`` variant).  ``include_graph`` embeds the source graph's
     edges (needed for path queries; costs ``O(m)`` space).
+
+    ``profile=True`` wraps the build in a
+    :func:`~repro.telemetry.profiling.profile_build` block — wall time
+    attributed to the same phase names as ``rounds_breakdown`` — and
+    stores the result in the manifest under ``build_profile``
+    (``repro build-oracle --profile`` prints the joined table).
     """
     try:
         spec = variants_registry.get_variant(variant)
@@ -335,7 +343,12 @@ def build_oracle(
     # manifests stay greppable the way v1 manifests were.
     manifest.update(_jsonable(resolved))
 
-    build = spec.build(g, rng=rng, **resolved, **extra)
+    if profile:
+        with profile_build() as profiler:
+            build = spec.build(g, rng=rng, **resolved, **extra)
+        manifest["build_profile"] = profiler.as_dict()
+    else:
+        build = spec.build(g, rng=rng, **resolved, **extra)
     manifest.update(
         kind=spec.kind,
         name=build.name,

@@ -116,6 +116,10 @@ class OracleClient:
         self._rng = rng or random.Random()
         self.retries = 0  # total backoff retries performed (introspection)
         self.reconnects = 0  # stale keep-alive sockets replaced
+        #: The server's ``X-Request-Id`` from the most recent response —
+        #: quote it when reporting a failure so the server-side trace
+        #: (request logs, debug spans) can be found.
+        self.last_request_id: Optional[str] = None
         self._conn: Optional[http.client.HTTPConnection] = None
         self._conn_used = False  # a request completed on self._conn
 
@@ -136,6 +140,24 @@ class OracleClient:
     def healthz(self) -> Tuple[int, Dict[str, object]]:
         """GET ``/healthz`` (no retries — health must reflect now)."""
         return self._once("GET", "/healthz", None)
+
+    def metrics_text(self) -> str:
+        """GET ``/metrics``: the server's Prometheus text exposition,
+        raw (parse with :func:`repro.telemetry.parse_exposition`)."""
+        try:
+            status, raw, _ = self._roundtrip("GET", "/metrics", None)
+        except (OSError, http.client.HTTPException) as exc:
+            self.close()
+            raise OracleClientError(
+                f"GET {self.base_url}/metrics failed: {exc}"
+                f"{self._id_suffix()}"
+            )
+        if status != 200:
+            raise OracleClientError(
+                f"GET {self.base_url}/metrics returned {status}"
+                f"{self._id_suffix()}"
+            )
+        return raw.decode("utf-8")
 
     def close(self) -> None:
         """Drop the kept-alive connection (idempotent)."""
@@ -161,7 +183,8 @@ class OracleClient:
         for attempt in range(1, self.max_attempts + 1):
             retry_after: Optional[float] = None
             try:
-                status, body, headers = self._roundtrip(method, path, payload)
+                status, raw, headers = self._roundtrip(method, path, payload)
+                body = _json_body(raw)
                 if status != 503:
                     return status, body
                 # Shed load / draining: transient by contract.
@@ -176,6 +199,7 @@ class OracleClient:
                 self.close()
                 raise OracleClientError(
                     f"{method} {self.base_url}{path} failed: {exc}"
+                    f"{self._id_suffix()}"
                 )
             if attempt >= self.max_attempts:
                 break
@@ -183,7 +207,8 @@ class OracleClient:
             time.sleep(self._delay(attempt, retry_after))
         raise ClientRetriesExhausted(
             f"{method} {self.base_url}{path} failed after "
-            f"{self.max_attempts} attempts: {last_error}",
+            f"{self.max_attempts} attempts: {last_error}"
+            f"{self._id_suffix()}",
             attempts=self.max_attempts,
             last_error=last_error
             if last_error is not None
@@ -194,13 +219,21 @@ class OracleClient:
         self, method: str, path: str, payload
     ) -> Tuple[int, Dict[str, object]]:
         try:
-            status, body, _ = self._roundtrip(method, path, payload)
+            status, raw, _ = self._roundtrip(method, path, payload)
         except (OSError, http.client.HTTPException) as exc:
             self.close()
             raise OracleClientError(
                 f"{method} {self.base_url}{path} failed: {exc}"
+                f"{self._id_suffix()}"
             )
-        return status, body
+        return status, _json_body(raw)
+
+    def _id_suffix(self) -> str:
+        """`` (last X-Request-Id: ...)`` when a response has been seen —
+        the handle into the server's logs for this client's traffic."""
+        if self.last_request_id is None:
+            return ""
+        return f" (last X-Request-Id: {self.last_request_id})"
 
     # ------------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -246,13 +279,16 @@ class OracleClient:
             self.close()
             raise
         status, resp_headers = resp.status, resp.headers
+        request_id = resp_headers.get("X-Request-Id")
+        if request_id is not None:
+            self.last_request_id = request_id
         if resp.will_close:
             # Server asked for Connection: close (e.g. the threaded
             # front end) — drop quietly; not a stale-socket event.
             self.close()
         else:
             self._conn_used = True
-        return status, _json_body(raw), resp_headers
+        return status, raw, resp_headers
 
     def _delay(self, attempt: int, retry_after: Optional[float]) -> float:
         if retry_after is not None:

@@ -44,6 +44,8 @@ import time
 from concurrent.futures import Future
 from typing import Dict, List, Optional, Tuple
 
+from ..telemetry import instruments as _instr
+from ..telemetry import metrics as _metrics
 from .faults import FAULTS
 from .resilience import Deadline
 
@@ -56,13 +58,15 @@ class CoalescerClosed(Exception):
 
 
 class _Waiter:
-    __slots__ = ("u", "v", "deadline", "future")
+    __slots__ = ("u", "v", "deadline", "future", "parked_at", "trace")
 
-    def __init__(self, u: int, v: int, deadline: Optional[Deadline]):
+    def __init__(self, u: int, v: int, deadline: Optional[Deadline], trace=None):
         self.u = u
         self.v = v
         self.deadline = deadline
         self.future: "Future[float]" = Future()
+        self.parked_at = time.perf_counter()
+        self.trace = trace
 
 
 def _settle(future: Future, *, result=None, error: Optional[BaseException] = None):
@@ -110,10 +114,17 @@ class QueryCoalescer:
 
     # ------------------------------------------------------------------
     def submit(
-        self, u: int, v: int, deadline: Optional[Deadline] = None
+        self,
+        u: int,
+        v: int,
+        deadline: Optional[Deadline] = None,
+        trace=None,
     ) -> "Future[float]":
-        """Park one ``dist(u, v)`` query; resolve via the next flush."""
-        waiter = _Waiter(int(u), int(v), deadline)
+        """Park one ``dist(u, v)`` query; resolve via the next flush.
+
+        ``trace`` (a :class:`~repro.telemetry.trace.RequestTrace`)
+        gets ``park`` and ``gather`` spans recorded during the flush."""
+        waiter = _Waiter(int(u), int(v), deadline, trace=trace)
         with self._cond:
             if self._closed:
                 raise CoalescerClosed(
@@ -195,32 +206,61 @@ class QueryCoalescer:
 
     def _flush(self, batch: List[_Waiter]) -> None:
         """Answer one parked batch: faults, per-waiter deadlines, one
-        vectorized gather, fan-out.  Never raises."""
-        try:
-            FAULTS.fire("service.handle")
-            FAULTS.fire("coalesce.flush")
-        except Exception as exc:
-            for w in batch:
-                _settle(w.future, error=exc)
-            return
-        live: List[_Waiter] = []
+        vectorized gather, fan-out.  Never raises.
+
+        Telemetry: each waiter's ``park`` span is the flush start minus
+        its submit time; the batch's single gather duration is recorded
+        onto *every* member's trace (they shared it) and once into the
+        stage histogram; batch sizes feed
+        ``repro_coalesce_batch_size``."""
+        flush_start = time.perf_counter()
+        enabled = _metrics.ENABLED
+        if enabled:
+            _instr.COALESCE_BATCH_SIZE.observe(len(batch))
         for w in batch:
-            if w.deadline is not None and w.deadline.expired:
-                try:
-                    w.deadline.check({"completed": 0, "total": 1})
-                except Exception as exc:  # DeadlineExceeded with progress
-                    _settle(w.future, error=exc)
-                    continue
-            live.append(w)
-        if not live:
-            return
+            if enabled or w.trace is not None:
+                _instr.observe_stage(
+                    w.trace, "park", flush_start - w.parked_at
+                )
         try:
-            values = self.oracle.query_batch(
-                [w.u for w in live], [w.v for w in live]
-            )
-        except Exception as exc:
-            for w in live:
-                _settle(w.future, error=exc)
-            return
-        for w, value in zip(live, values):
-            _settle(w.future, result=float(value))
+            try:
+                FAULTS.fire("service.handle")
+                FAULTS.fire("coalesce.flush")
+            except Exception as exc:
+                for w in batch:
+                    _settle(w.future, error=exc)
+                return
+            live: List[_Waiter] = []
+            for w in batch:
+                if w.deadline is not None and w.deadline.expired:
+                    try:
+                        w.deadline.check({"completed": 0, "total": 1})
+                    except Exception as exc:  # DeadlineExceeded w/ progress
+                        _settle(w.future, error=exc)
+                        continue
+                live.append(w)
+            if not live:
+                return
+            gather_start = time.perf_counter()
+            try:
+                values = self.oracle.query_batch(
+                    [w.u for w in live], [w.v for w in live]
+                )
+            except Exception as exc:
+                for w in live:
+                    _settle(w.future, error=exc)
+                return
+            finally:
+                gather_s = time.perf_counter() - gather_start
+                if enabled:
+                    _instr.observe_stage(None, "gather", gather_s)
+                for w in live:
+                    if w.trace is not None:
+                        w.trace.record("gather", gather_s)
+            for w, value in zip(live, values):
+                _settle(w.future, result=float(value))
+        finally:
+            if enabled:
+                _instr.observe_stage(
+                    None, "flush", time.perf_counter() - flush_start
+                )

@@ -48,6 +48,7 @@ exact distances via :func:`repro.analysis.stretch.evaluate_stretch`.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -57,6 +58,8 @@ import numpy as np
 from ..analysis.stretch import StretchReport, evaluate_stretch
 from ..graph.graph import Graph, WeightedGraph
 from ..kernels import BACKENDS, hop_limited_relax
+from ..telemetry import instruments as _instr
+from ..telemetry import metrics as _metrics
 from .artifact import ArtifactError, OracleArtifact, load_artifact
 from .faults import FAULTS
 
@@ -272,6 +275,15 @@ class DistanceOracle:
         with self._lock:
             self._queries += us.size
             self._batched += us.size
+        if _metrics.ENABLED:
+            gather_start = time.perf_counter()
+            try:
+                values, _ = self._answer_batch(us, vs, want_witness=False)
+            finally:
+                _instr.ENGINE_GATHER_SECONDS.observe(
+                    time.perf_counter() - gather_start
+                )
+            return values
         values, _ = self._answer_batch(us, vs, want_witness=False)
         return values
 

@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import signal
 import threading
 import time
@@ -77,6 +78,12 @@ from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import __version__
+from ..telemetry import instruments as _instr
+from ..telemetry import metrics as _metrics
+from ..telemetry.metrics import REGISTRY as _REGISTRY
+from ..telemetry.logs import SERVING_LOGGER, level_for_status
+from ..telemetry.trace import RequestTrace, clean_trace_id, new_trace_id
 from .artifact import ArtifactCorrupt, ArtifactError, ArtifactMismatch
 from .coalesce import CoalescerClosed, QueryCoalescer
 from .engine import DistanceOracle
@@ -111,6 +118,74 @@ def _clean(value: float) -> Optional[float]:
     return float(value) if np.isfinite(value) else None
 
 
+_SERVING_LOG = logging.getLogger(SERVING_LOGGER)
+
+#: The exposition content type scrapers expect from ``GET /metrics``.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _log_request(
+    frontend: str,
+    mount: Optional[str],
+    status: int,
+    duration_s: float,
+    trace: Optional[RequestTrace],
+) -> None:
+    """One structured record per finished request (2xx at ``debug``,
+    4xx at ``info``, 5xx at ``warning`` — :mod:`repro.telemetry.logs`)."""
+    level = level_for_status(status)
+    if not _SERVING_LOG.isEnabledFor(level):
+        return
+    trace_id = trace.trace_id if trace is not None else "-"
+    _SERVING_LOG.log(
+        level,
+        "query frontend=%s mount=%s status=%d duration_ms=%.3f trace_id=%s",
+        frontend,
+        mount or "-",
+        status,
+        duration_s * 1000.0,
+        trace_id,
+        extra={
+            "event": "request",
+            "frontend": frontend,
+            "mount": mount or "",
+            "status": status,
+            "duration_ms": round(duration_s * 1000.0, 3),
+            "trace_id": trace_id,
+        },
+    )
+
+
+def _count_http_error(frontend: str, status: int) -> None:
+    """Count a request rejected before it reached a mounted service."""
+    if _metrics.ENABLED:
+        _instr.HTTP_ERRORS.labels(frontend, str(status)).inc()
+
+
+def _healthz(server) -> Tuple[int, Dict[str, object]]:
+    """The `/healthz` body both front ends serve: liveness plus the
+    basics an operator wants without grepping ``/info`` — version,
+    uptime, and how many artifacts are mounted."""
+    body: Dict[str, object] = {
+        "ok": not server.draining,
+        "version": __version__,
+        "uptime_s": round(time.monotonic() - server.started_at, 3),
+        "artifacts": len(server.router.names),
+    }
+    if server.draining:
+        body["draining"] = True
+        return 503, body
+    return 200, body
+
+
+def _register_server_metrics(started_at: float) -> None:
+    """Register the per-process server gauges (idempotent)."""
+    _instr.SERVER_INFO.labels(__version__).set_function(lambda: 1.0)
+    _instr.UPTIME_SECONDS.set_function(
+        lambda: time.monotonic() - started_at
+    )
+
+
 class OracleService:
     """JSON request/response semantics over a :class:`DistanceOracle`.
 
@@ -124,9 +199,11 @@ class OracleService:
         self,
         oracle: DistanceOracle,
         limits: Optional[ServingLimits] = None,
+        name: str = "oracle",
     ):
         self.oracle = oracle
         self.limits = limits or DEFAULT_LIMITS
+        self.name = name
         self.admission = AdmissionController(
             self.limits.max_inflight, retry_after=self.limits.retry_after_s
         )
@@ -134,6 +211,15 @@ class OracleService:
         self._stats_lock = threading.Lock()
         self._deadline_exceeded = 0
         self._over_limit = 0
+        # Metric children resolved once per mount (labels() is a dict
+        # lookup under a lock — not something the hot path should redo).
+        self._m_latency = _instr.REQUEST_SECONDS.labels(name)
+        self._m_deadline = _instr.DEADLINE_EXCEEDED.labels(name)
+        self._m_rejected = _instr.ADMISSION_REJECTED.labels(name)
+        self._m_requests: Dict[int, object] = {}
+        _instr.INFLIGHT.labels(name).set_function(
+            lambda admission=self.admission: admission.inflight
+        )
 
     def attach_coalescer(self) -> QueryCoalescer:
         """Create (once) the coalescer :meth:`submit_coalesced` parks
@@ -149,7 +235,9 @@ class OracleService:
         return self.coalescer
 
     # ------------------------------------------------------------------
-    def handle(self, request: object) -> Tuple[int, Dict[str, object]]:
+    def handle(
+        self, request: object, trace: Optional[RequestTrace] = None
+    ) -> Tuple[int, Dict[str, object]]:
         """Answer one request dict; returns ``(status, response)``.
 
         Ops: ``distance`` (default; single ``u``/``v``, parallel
@@ -157,25 +245,68 @@ class OracleService:
         ``path``, ``info``.  A numeric ``timeout_ms`` in the request
         arms a deadline (capped at the server max).  Every failure maps
         to a typed JSON error — never an exception out of this method.
+
+        ``trace`` (attached by the HTTP front ends) collects per-stage
+        spans; a request with ``"debug": true`` gets it back in the
+        response body.
         """
+        if trace is None and not _metrics.ENABLED:
+            return self._handle_inner(request, None)
+        start = time.perf_counter()
+        status, body = self._handle_inner(request, trace)
+        return self._finalize(status, body, trace, start)
+
+    def _handle_inner(
+        self, request: object, trace: Optional[RequestTrace]
+    ) -> Tuple[int, Dict[str, object]]:
         if not isinstance(request, dict):
             return 400, {"error": "request body must be a JSON object"}
         try:
+            timed = trace is not None or _metrics.ENABLED
+            if timed:
+                admit_start = time.perf_counter()
             with self.admission.admit():
+                if timed:
+                    _instr.observe_stage(
+                        trace, "admission", time.perf_counter() - admit_start
+                    )
                 FAULTS.fire("service.handle")
                 deadline = Deadline.resolve(
                     request.get("timeout_ms"),
                     self.limits.default_timeout_ms,
                     self.limits.max_timeout_ms,
                 )
-                return self._dispatch(request, deadline)
+                return self._dispatch(request, deadline, trace)
         except Exception as exc:  # noqa: BLE001 — keep serving threads alive
             return self._error_response(exc)
+
+    def _finalize(
+        self,
+        status: int,
+        body: Dict[str, object],
+        trace: Optional[RequestTrace],
+        start: float,
+    ) -> Tuple[int, Dict[str, object]]:
+        """Count one finished request (the series the accounting
+        identity reconciles) and attach the debug trace."""
+        if _metrics.ENABLED:
+            counter = self._m_requests.get(status)
+            if counter is None:
+                counter = self._m_requests[status] = _instr.REQUESTS.labels(
+                    self.name, str(status)
+                )
+            counter.inc()
+            self._m_latency.observe(time.perf_counter() - start)
+        if trace is not None and trace.debug and isinstance(body, dict):
+            body["trace"] = trace.as_dict()
+        return status, body
 
     def _error_response(self, exc: BaseException) -> Tuple[int, Dict[str, object]]:
         """The one failure→(status, body) mapping both request paths
         share (``handle`` and the coalesced path); DESIGN.md §7."""
         if isinstance(exc, AdmissionRejected):
+            if _metrics.ENABLED:
+                self._m_rejected.inc()
             return 503, {
                 "error": str(exc),
                 "retry_after": exc.retry_after,
@@ -190,6 +321,8 @@ class OracleService:
         if isinstance(exc, DeadlineExceeded):
             with self._stats_lock:
                 self._deadline_exceeded += 1
+            if _metrics.ENABLED:
+                self._m_deadline.inc()
             body: Dict[str, object] = {
                 "error": str(exc),
                 "timeout_ms": exc.timeout_ms,
@@ -208,7 +341,7 @@ class OracleService:
         }
 
     def submit_coalesced(
-        self, request: object
+        self, request: object, trace: Optional[RequestTrace] = None
     ) -> "Future[Tuple[int, Dict[str, object]]]":
         """Answer one *single* distance request via the coalescer.
 
@@ -218,17 +351,33 @@ class OracleService:
         the returned future resolves to the same ``(status, body)``
         ``handle`` would produce.  Never raises, never blocks beyond a
         lock; requires :meth:`attach_coalescer` first.
+
+        ``trace`` rides into the parked waiter: the flush records its
+        ``park`` and ``gather`` spans, and :meth:`_finalize` attaches
+        the trace to a ``"debug": true`` response.
         """
+        timed = trace is not None or _metrics.ENABLED
+        start = time.perf_counter() if timed else 0.0
         out: "Future[Tuple[int, Dict[str, object]]]" = Future()
+
+        def _done(status: int, body: Dict[str, object]) -> None:
+            if timed:
+                status, body = self._finalize(status, body, trace, start)
+            out.set_result((status, body))
+
         if not isinstance(request, dict):
-            out.set_result((400, {"error": "request body must be a JSON object"}))
+            _done(400, {"error": "request body must be a JSON object"})
             return out
         slot = self.admission.admit()
         try:
             slot.__enter__()
         except AdmissionRejected as exc:
-            out.set_result(self._error_response(exc))
+            _done(*self._error_response(exc))
             return out
+        if timed:
+            _instr.observe_stage(
+                trace, "admission", time.perf_counter() - start
+            )
         try:
             deadline = Deadline.resolve(
                 request.get("timeout_ms"),
@@ -241,10 +390,10 @@ class OracleService:
             n = self.oracle.n
             if not (0 <= u < n and 0 <= v < n):
                 raise IndexError(f"query vertex out of range for n={n}")
-            parked = self.coalescer.submit(u, v, deadline)
+            parked = self.coalescer.submit(u, v, deadline, trace=trace)
         except Exception as exc:
             slot.__exit__(None, None, None)
-            out.set_result(self._error_response(exc))
+            _done(*self._error_response(exc))
             return out
 
         def _finish(done: "Future[float]") -> None:
@@ -260,17 +409,17 @@ class OracleService:
                     )
             finally:
                 slot.__exit__(None, None, None)
-            out.set_result(result)
+            _done(*result)
 
         parked.add_done_callback(_finish)
         return out
 
-    def _dispatch(self, request, deadline):
+    def _dispatch(self, request, deadline, trace=None):
         op = request.get("op", "distance")
         if op == "distance":
             # Batched distances check the deadline between chunks (the
             # 504 carries partial-progress stats), so no entry check.
-            return self._distance(request, deadline)
+            return self._distance(request, deadline, trace)
         if deadline is not None:
             deadline.check()
         if op == "certificate":
@@ -323,7 +472,8 @@ class OracleService:
             raise ValueError("query needs 'u' and 'v' (or 'pairs'/'us'+'vs')")
         return int(request["u"]), int(request["v"])
 
-    def _distance(self, request, deadline=None):
+    def _distance(self, request, deadline=None, trace=None):
+        timed = trace is not None or _metrics.ENABLED
         batch = self._batch_indices(request)
         if batch is not None:
             us, vs = batch
@@ -339,16 +489,23 @@ class OracleService:
             values = np.empty(us.size, dtype=np.float64)
             chunk = max(1, int(self.limits.batch_chunk))
             completed = 0
-            for start in range(0, int(us.size), chunk):
-                if deadline is not None:
-                    deadline.check(
-                        {"completed": completed, "total": int(us.size)}
+            gather_start = time.perf_counter() if timed else 0.0
+            try:
+                for start in range(0, int(us.size), chunk):
+                    if deadline is not None:
+                        deadline.check(
+                            {"completed": completed, "total": int(us.size)}
+                        )
+                    end = min(start + chunk, int(us.size))
+                    values[start:end] = self.oracle.query_batch(
+                        us[start:end], vs[start:end]
                     )
-                end = min(start + chunk, int(us.size))
-                values[start:end] = self.oracle.query_batch(
-                    us[start:end], vs[start:end]
-                )
-                completed = end
+                    completed = end
+            finally:
+                if timed:
+                    _instr.observe_stage(
+                        trace, "gather", time.perf_counter() - gather_start
+                    )
             return 200, {
                 "distances": [_clean(x) for x in values],
                 "count": int(values.size),
@@ -357,7 +514,13 @@ class OracleService:
         u, v = self._single_indices(request)
         if deadline is not None:
             deadline.check()
-        return 200, {"u": u, "v": v, "distance": _clean(self.oracle.query(u, v))}
+        gather_start = time.perf_counter() if timed else 0.0
+        value = self.oracle.query(u, v)
+        if timed:
+            _instr.observe_stage(
+                trace, "gather", time.perf_counter() - gather_start
+            )
+        return 200, {"u": u, "v": v, "distance": _clean(value)}
 
     def _certificate(self, request):
         u, v = self._single_indices(request)
@@ -423,7 +586,7 @@ class OracleRouter:
                 f"artifact name {name!r} is already mounted; names must "
                 "be unique (use --artifact NAME=PATH to disambiguate)"
             )
-        self._services[name] = OracleService(oracle, limits=limits)
+        self._services[name] = OracleService(oracle, limits=limits, name=name)
 
     @classmethod
     def load(
@@ -503,13 +666,16 @@ class OracleRouter:
         return svc, 200, {}
 
     def handle(
-        self, request: object, name: Optional[str] = None
+        self,
+        request: object,
+        name: Optional[str] = None,
+        trace: Optional[RequestTrace] = None,
     ) -> Tuple[int, Dict[str, object]]:
         """Route one request dict to a mounted artifact's service."""
         svc, status, err = self._resolve(name)
         if svc is None:
             return status, err
-        return svc.handle(request)
+        return svc.handle(request, trace)
 
     def info(
         self, name: Optional[str] = None
@@ -560,6 +726,7 @@ class OracleHTTPServer(ThreadingHTTPServer):
         super().__init__(*args, **kwargs)
         self.limits = DEFAULT_LIMITS
         self.draining = False
+        self.started_at = time.monotonic()
         self._http_lock = threading.Lock()
         self._disconnects = 0
         self._drain_started = False
@@ -569,6 +736,8 @@ class OracleHTTPServer(ThreadingHTTPServer):
         """Record a client that vanished mid-response."""
         with self._http_lock:
             self._disconnects += 1
+        if _metrics.ENABLED:
+            _instr.CLIENT_DISCONNECTS.labels("threaded").inc()
 
     def http_stats(self) -> Dict[str, object]:
         """Transport-level counters (merged into ``GET /info``)."""
@@ -618,16 +787,16 @@ def _split_route(path: str, prefix: str) -> Tuple[bool, Optional[str]]:
 class _Handler(BaseHTTPRequestHandler):
     server: OracleHTTPServer
 
-    def _respond(
+    def _send_payload(
         self,
         status: int,
-        body: Dict[str, object],
+        payload: bytes,
+        content_type: str,
         headers: Sequence[Tuple[str, str]] = (),
     ) -> None:
-        payload = json.dumps(body).encode()
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             for key, value in headers:
                 self.send_header(key, value)
@@ -639,20 +808,30 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.count_disconnect()
             self.close_connection = True
 
-    def _respond_routed(self, status: int, body: Dict[str, object]) -> None:
-        """Respond to a routed (service-produced) result, attaching the
-        ``Retry-After`` header a shed request advertises in its body."""
-        headers = []
-        if status == 503 and "retry_after" in body:
-            headers.append(("Retry-After", f"{float(body['retry_after']):g}"))
-        self._respond(status, body, headers)
+    def _respond(
+        self,
+        status: int,
+        body: Dict[str, object],
+        headers: Sequence[Tuple[str, str]] = (),
+    ) -> None:
+        if _metrics.ENABLED:
+            serialize_start = time.perf_counter()
+            payload = json.dumps(body).encode()
+            _instr.observe_stage(
+                None, "serialize", time.perf_counter() - serialize_start
+            )
+        else:
+            payload = json.dumps(body).encode()
+        self._send_payload(status, payload, "application/json", headers)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         if self.path == "/healthz":
-            if self.server.draining:
-                self._respond(503, {"ok": False, "draining": True})
-            else:
-                self._respond(200, {"ok": True})
+            self._respond(*_healthz(self.server))
+            return
+        if self.path == "/metrics":
+            self._send_payload(
+                200, _REGISTRY.render().encode(), _METRICS_CONTENT_TYPE
+            )
             return
         matched, name = _split_route(self.path, "/info")
         if matched:
@@ -664,13 +843,30 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond(404, {"error": f"unknown path {self.path!r}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        start = time.perf_counter()
+        # The request ID exists from the moment the headers are parsed —
+        # every /query response (including pre-service rejections)
+        # echoes it, so any failure can be grepped in the server logs.
+        request_id = (
+            clean_trace_id(self.headers.get("X-Request-Id")) or new_trace_id()
+        )
+        id_header = [("X-Request-Id", request_id)]
+
+        def _reject(
+            status: int,
+            body: Dict[str, object],
+            headers: Sequence[Tuple[str, str]] = (),
+        ) -> None:
+            _count_http_error("threaded", status)
+            self._respond(status, body, list(headers) + id_header)
+
         matched, name = _split_route(self.path, "/query")
         if not matched:
-            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            _reject(404, {"error": f"unknown path {self.path!r}"})
             return
         if self.server.draining:
             retry = self.server.limits.retry_after_s
-            self._respond(
+            _reject(
                 503,
                 {
                     "error": "server is draining for shutdown; retry "
@@ -683,20 +879,20 @@ class _Handler(BaseHTTPRequestHandler):
             return
         raw_length = self.headers.get("Content-Length")
         if raw_length is None:
-            self._respond(
+            _reject(
                 411, {"error": "Content-Length header is required"}
             )
             return
         try:
             length = int(raw_length)
         except ValueError:
-            self._respond(
+            _reject(
                 400,
                 {"error": f"malformed Content-Length {raw_length!r}"},
             )
             return
         if length <= 0:
-            self._respond(
+            _reject(
                 400,
                 {
                     "error": f"Content-Length must be positive, got "
@@ -705,7 +901,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return
         if length > self.server.limits.max_body_bytes:
-            self._respond(
+            _reject(
                 413,
                 {
                     "error": f"request body of {length} bytes exceeds "
@@ -718,9 +914,25 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             request = json.loads(self.rfile.read(length))
         except (ValueError, json.JSONDecodeError) as exc:
-            self._respond(400, {"error": f"malformed JSON request: {exc}"})
+            _reject(400, {"error": f"malformed JSON request: {exc}"})
             return
-        self._respond_routed(*self.server.router.handle(request, name))
+        trace = RequestTrace(
+            trace_id=request_id,
+            debug=isinstance(request, dict) and request.get("debug") is True,
+        )
+        _instr.observe_stage(trace, "parse", time.perf_counter() - start)
+        svc, rstatus, err = self.server.router._resolve(name)
+        if svc is None:
+            _reject(rstatus, err)
+            return
+        status, body = svc.handle(request, trace)
+        headers = list(id_header)
+        if status == 503 and "retry_after" in body:
+            headers.append(("Retry-After", f"{float(body['retry_after']):g}"))
+        self._respond(status, body, headers)
+        _log_request(
+            "threaded", svc.name, status, time.perf_counter() - start, trace
+        )
 
     def log_message(self, fmt, *args) -> None:  # quiet by default
         pass
@@ -745,6 +957,9 @@ def make_server(
     server = OracleHTTPServer((host, port), _Handler)
     server.router = router
     server.limits = limits or DEFAULT_LIMITS
+    if server.limits.telemetry:
+        _metrics.enable()
+    _register_server_metrics(server.started_at)
     return server
 
 
@@ -781,6 +996,7 @@ class AsyncOracleServer:
         self.port = port
         self.limits = limits or DEFAULT_LIMITS
         self.draining = False
+        self.started_at = time.monotonic()
         self.server_address: Tuple[str, int] = (host, port)
         self._lock = threading.Lock()
         self._disconnects = 0
@@ -797,6 +1013,8 @@ class AsyncOracleServer:
         """Record a client that vanished mid-response."""
         with self._lock:
             self._disconnects += 1
+        if _metrics.ENABLED:
+            _instr.CLIENT_DISCONNECTS.labels("async").inc()
 
     def http_stats(self) -> Dict[str, object]:
         """Transport-level counters (merged into ``GET /info``)."""
@@ -812,6 +1030,10 @@ class AsyncOracleServer:
         """Bind the listening socket, attach coalescers, spin up (and
         pre-warm) the worker pool."""
         self._loop = asyncio.get_running_loop()
+        self.started_at = time.monotonic()
+        if self.limits.telemetry:
+            _metrics.enable()
+        _register_server_metrics(self.started_at)
         workers = 4
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="oracle-async"
@@ -950,9 +1172,10 @@ class AsyncOracleServer:
         marks responses sent without reading the request body."""
         if method == "GET":
             if path == "/healthz":
-                if self.draining:
-                    return 503, {"ok": False, "draining": True}, (), False
-                return 200, {"ok": True}, (), False
+                status, body = _healthz(self)
+                return status, body, (), False
+            if path == "/metrics":
+                return 200, _REGISTRY.render(), (), False
             matched, name = _split_route(path, "/info")
             if matched:
                 status, body = self.router.info(name)
@@ -962,62 +1185,87 @@ class AsyncOracleServer:
             return 404, {"error": f"unknown path {path!r}"}, (), False
         if method != "POST":
             return 501, {"error": f"unsupported method {method!r}"}, (), True
+        start = time.perf_counter()
+        request_id = (
+            clean_trace_id(headers.get("x-request-id")) or new_trace_id()
+        )
+        id_header = (("X-Request-Id", request_id),)
         matched, name = _split_route(path, "/query")
         if not matched:
-            return 404, {"error": f"unknown path {path!r}"}, (), True
+            _count_http_error("async", 404)
+            return 404, {"error": f"unknown path {path!r}"}, id_header, True
         if self.draining:
             retry = self.limits.retry_after_s
+            _count_http_error("async", 503)
             return 503, {
                 "error": "server is draining for shutdown; retry "
                 "against another instance",
                 "draining": True,
                 "retry_after": retry,
-            }, (("Retry-After", f"{retry:g}"),), True
+            }, (("Retry-After", f"{retry:g}"),) + id_header, True
         raw_length = headers.get("content-length")
         if raw_length is None:
+            _count_http_error("async", 411)
             return 411, {
                 "error": "Content-Length header is required"
-            }, (), True
+            }, id_header, True
         try:
             length = int(raw_length)
         except ValueError:
+            _count_http_error("async", 400)
             return 400, {
                 "error": f"malformed Content-Length {raw_length!r}"
-            }, (), True
+            }, id_header, True
         if length <= 0:
+            _count_http_error("async", 400)
             return 400, {
                 "error": f"Content-Length must be positive, got "
                 f"{length} (send a JSON object body)"
-            }, (), True
+            }, id_header, True
         if length > self.limits.max_body_bytes:
+            _count_http_error("async", 413)
             return 413, {
                 "error": f"request body of {length} bytes exceeds "
                 f"this server's max_body_bytes="
                 f"{self.limits.max_body_bytes}",
                 "max_body_bytes": self.limits.max_body_bytes,
-            }, (), True
+            }, id_header, True
         raw = await reader.readexactly(length)
         try:
             request = json.loads(raw)
         except (ValueError, json.JSONDecodeError) as exc:
-            return 400, {"error": f"malformed JSON request: {exc}"}, (), False
+            _count_http_error("async", 400)
+            return 400, {
+                "error": f"malformed JSON request: {exc}"
+            }, id_header, False
+        trace = RequestTrace(
+            trace_id=request_id,
+            debug=isinstance(request, dict) and request.get("debug") is True,
+        )
+        _instr.observe_stage(trace, "parse", time.perf_counter() - start)
         svc, status, err = self.router._resolve(name)
         if svc is None:
-            return status, err, (), False
+            _count_http_error("async", status)
+            return status, err, id_header, False
         if self._coalescable(request):
             status, body = await asyncio.wrap_future(
-                svc.submit_coalesced(request)
+                svc.submit_coalesced(request, trace)
             )
         else:
             # Batches, certificates, paths, info: straight to a worker
             # thread — an explicit batch is already vectorized, so the
             # coalescer would only add latency.
             status, body = await self._loop.run_in_executor(
-                self._executor, svc.handle, request
+                self._executor, svc.handle, request, trace
             )
-        extra: Tuple = ()
+        extra: Tuple = id_header
         if status == 503 and "retry_after" in body:
-            extra = (("Retry-After", f"{float(body['retry_after']):g}"),)
+            extra = (
+                ("Retry-After", f"{float(body['retry_after']):g}"),
+            ) + extra
+        _log_request(
+            "async", svc.name, status, time.perf_counter() - start, trace
+        )
         return status, body, extra, False
 
     @staticmethod
@@ -1034,13 +1282,26 @@ class AsyncOracleServer:
         )
 
     async def _write(
-        self, writer, status: int, body: Dict[str, object],
+        self, writer, status: int, body: Union[Dict[str, object], str],
         extra: Tuple, keep: bool,
     ) -> None:
-        payload = json.dumps(body).encode()
+        if isinstance(body, str):
+            # A preformatted text body (the /metrics exposition).
+            payload = body.encode()
+            content_type = _METRICS_CONTENT_TYPE
+        elif _metrics.ENABLED:
+            serialize_start = time.perf_counter()
+            payload = json.dumps(body).encode()
+            _instr.observe_stage(
+                None, "serialize", time.perf_counter() - serialize_start
+            )
+            content_type = "application/json"
+        else:
+            payload = json.dumps(body).encode()
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(payload)}",
         ]
         head.extend(f"{key}: {value}" for key, value in extra)

@@ -1,0 +1,142 @@
+"""The serving stack's fixed metric table (DESIGN.md §9).
+
+Every metric the stack exposes is declared here, once — the service
+layer, the coalescer, the engine, and the front ends import these
+handles instead of re-registering by name, so the name/label/bucket
+contract lives in one place and ``GET /metrics`` is the same table on
+both front ends.
+
+=============================================  =======================
+metric                                         labels
+=============================================  =======================
+``repro_server_info``                          ``version``
+``repro_uptime_seconds``                       —
+``repro_requests_total``                       ``mount``, ``status``
+``repro_request_duration_seconds``             ``mount``
+``repro_stage_duration_seconds``               ``stage``
+``repro_deadline_exceeded_total``              ``mount``
+``repro_admission_rejected_total``             ``mount``
+``repro_inflight_requests``                    ``mount``
+``repro_coalesce_batch_size``                  —
+``repro_engine_gather_seconds``                —
+``repro_http_errors_total``                    ``frontend``, ``status``
+``repro_client_disconnects_total``             ``frontend``
+=============================================  =======================
+
+``repro_requests_total`` counts every request that *reached a mounted
+service* (one increment per finished request, coalesced or not) —
+that is the series the loadgen accounting identity reconciles against.
+Failures that never reach a mount (unknown route/artifact, body-size
+rejections, malformed JSON, draining shed) count in
+``repro_http_errors_total`` instead, labeled by front end.
+
+Stage names observed into ``repro_stage_duration_seconds``: ``parse``,
+``admission``, ``park``, ``flush``, ``gather``, ``serialize``.
+"""
+
+from __future__ import annotations
+
+from . import metrics as _metrics
+from .metrics import DEFAULT_LATENCY_BUCKETS, REGISTRY
+
+__all__ = [
+    "ADMISSION_REJECTED",
+    "CLIENT_DISCONNECTS",
+    "COALESCE_BATCH_SIZE",
+    "DEADLINE_EXCEEDED",
+    "ENGINE_GATHER_SECONDS",
+    "HTTP_ERRORS",
+    "INFLIGHT",
+    "REQUESTS",
+    "REQUEST_SECONDS",
+    "SERVER_INFO",
+    "STAGE_SECONDS",
+    "UPTIME_SECONDS",
+    "observe_stage",
+]
+
+#: Coalesced-batch sizes are powers of two up to the default
+#: ``coalesce_max`` (512); a fuller bucket means the size trigger fired.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+SERVER_INFO = REGISTRY.gauge(
+    "repro_server_info",
+    "Constant 1, labeled with the serving package version.",
+    ("version",),
+)
+UPTIME_SECONDS = REGISTRY.gauge(
+    "repro_uptime_seconds",
+    "Seconds since this server process started serving.",
+)
+REQUESTS = REGISTRY.counter(
+    "repro_requests_total",
+    "Requests finished by a mounted service, by mount and HTTP status.",
+    ("mount", "status"),
+)
+REQUEST_SECONDS = REGISTRY.histogram(
+    "repro_request_duration_seconds",
+    "Service-side request latency (admission through response body).",
+    DEFAULT_LATENCY_BUCKETS,
+    ("mount",),
+)
+STAGE_SECONDS = REGISTRY.histogram(
+    "repro_stage_duration_seconds",
+    "Per-stage latency: parse, admission, park, flush, gather, serialize.",
+    DEFAULT_LATENCY_BUCKETS,
+    ("stage",),
+)
+DEADLINE_EXCEEDED = REGISTRY.counter(
+    "repro_deadline_exceeded_total",
+    "Requests that blew their deadline (504 with partial progress).",
+    ("mount",),
+)
+ADMISSION_REJECTED = REGISTRY.counter(
+    "repro_admission_rejected_total",
+    "Requests shed at the admission door (503 + Retry-After).",
+    ("mount",),
+)
+INFLIGHT = REGISTRY.gauge(
+    "repro_inflight_requests",
+    "Live in-flight requests per mount (reads the admission controller).",
+    ("mount",),
+)
+COALESCE_BATCH_SIZE = REGISTRY.histogram(
+    "repro_coalesce_batch_size",
+    "Parked queries answered per coalesced flush.",
+    BATCH_SIZE_BUCKETS,
+)
+ENGINE_GATHER_SECONDS = REGISTRY.histogram(
+    "repro_engine_gather_seconds",
+    "Wall time of one vectorized DistanceOracle.query_batch gather.",
+)
+HTTP_ERRORS = REGISTRY.counter(
+    "repro_http_errors_total",
+    "Requests rejected before reaching a mounted service (bad route, "
+    "bad body, unknown artifact, draining), by front end and status.",
+    ("frontend", "status"),
+)
+CLIENT_DISCONNECTS = REGISTRY.counter(
+    "repro_client_disconnects_total",
+    "Clients that vanished mid-response, by front end.",
+    ("frontend",),
+)
+
+
+#: Stage-histogram children resolved once per stage name —
+#: ``labels()`` is a lock + dict lookup, too much for every span on the
+#: hot path.  ``REGISTRY.reset()`` zeroes children in place, so cached
+#: handles stay valid.
+_STAGE_CHILDREN: dict = {}
+
+
+def observe_stage(trace, stage: str, seconds: float) -> None:
+    """Record one stage span: onto the request's trace (when the front
+    end attached one) and into the stage histogram (when enabled).
+    Callers guard the clock reads; this just fans the number out."""
+    if trace is not None:
+        trace.record(stage, seconds)
+    if _metrics.ENABLED:
+        child = _STAGE_CHILDREN.get(stage)
+        if child is None:
+            child = _STAGE_CHILDREN[stage] = STAGE_SECONDS.labels(stage)
+        child.observe(seconds)

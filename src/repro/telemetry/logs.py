@@ -1,0 +1,127 @@
+"""Structured logging for the serving stack (stdlib ``logging`` only).
+
+The serving layers log request events on the ``repro.serving`` logger
+with structured fields passed as ``extra=`` — trace ID, mount, status,
+duration, front end.  What those records look like is decided here:
+
+* ``configure_logging("json", "info")`` (the ``repro serve
+  --log-format json --log-level info`` path) attaches a stderr handler
+  with :class:`JsonFormatter`: one JSON object per line, the structured
+  fields as top-level keys — greppable by ``trace_id``, ingestible by
+  any log pipeline::
+
+      {"ts": "2026-08-07T12:00:00.123Z", "level": "warning",
+       "logger": "repro.serving", "msg": "query …", "trace_id": "6d0c…",
+       "mount": "exact", "status": 504, "duration_ms": 21.0, …}
+
+* ``configure_logging("text", …)`` emits the same records as ordinary
+  human-readable lines.
+
+Per-request records are emitted at ``debug`` for successes, ``info``
+for client errors (4xx) and ``warning`` for server-side failures
+(5xx), so the default ``--log-level info`` shows only what went wrong;
+``--log-level debug`` streams every request.  Unconfigured (library
+use, tests), a ``NullHandler`` keeps the logger silent — emitting a
+record costs one ``isEnabledFor`` check at the call site.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import sys
+from typing import Optional
+
+__all__ = [
+    "JsonFormatter",
+    "SERVING_LOGGER",
+    "configure_logging",
+    "level_for_status",
+]
+
+#: The logger request events go to (child of the ``repro`` root logger).
+SERVING_LOGGER = "repro.serving"
+
+#: LogRecord attributes that are logging machinery, not user fields —
+#: everything else on a record came in through ``extra=``.
+_RESERVED = frozenset(
+    vars(
+        logging.LogRecord("", 0, "", 0, "", (), None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` fields become keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = datetime.datetime.fromtimestamp(
+            record.created, tz=datetime.timezone.utc
+        )
+        out = {
+            "ts": stamp.isoformat(timespec="milliseconds").replace(
+                "+00:00", "Z"
+            ),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                out[key] = value
+        if record.exc_info:
+            out["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(out, default=str)
+
+
+def level_for_status(status: int) -> int:
+    """The request-event level policy: 2xx/3xx ``DEBUG``, 4xx ``INFO``,
+    5xx ``WARNING``."""
+    if status >= 500:
+        return logging.WARNING
+    if status >= 400:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    log_format: str = "text",
+    log_level: str = "info",
+    stream=None,
+) -> logging.Logger:
+    """Wire the ``repro`` logger tree to stderr and return it.
+
+    ``log_format`` is ``"text"`` or ``"json"``; ``log_level`` any
+    standard level name.  Idempotent: reconfiguring replaces the
+    handler rather than stacking duplicates.
+    """
+    if log_format not in ("text", "json"):
+        raise ValueError(
+            f"unknown log format {log_format!r}; expected 'text' or 'json'"
+        )
+    level = logging.getLevelName(log_level.upper())
+    if not isinstance(level, int):
+        raise ValueError(f"unknown log level {log_level!r}")
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    if log_format == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s %(message)s"
+            )
+        )
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+# Unconfigured library use stays silent (no "no handler" fallback spew
+# from chaos-test 500s) while still propagating to any root config the
+# embedding application set up.
+logging.getLogger(SERVING_LOGGER).addHandler(logging.NullHandler())

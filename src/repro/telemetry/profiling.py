@@ -1,0 +1,118 @@
+"""Build-phase wall-clock profiling keyed to the round ledger's phases.
+
+The preprocessing pipeline already decomposes itself the way the
+paper's proofs do: every construction charges its rounds to named
+:class:`~repro.cliquesim.ledger.RoundLedger` phases
+(``apsp2:learn-emulator``, ``hitting-set:announce``, …).  This module
+reuses those exact phase boundaries for *wall-clock* attribution: while
+a :func:`profile_build` block is active, every ledger charge also marks
+the profiler, and the wall time since the previous charge is attributed
+to the charging phase.
+
+The attribution rule is deliberately simple: constructions charge a
+phase **when that phase's work completes** (compute first, then account
+for it), so "time since the last charge" is that phase's elapsed wall
+time — including the very first charge, which measures from the block's
+start.  The residue between the last charge and block exit lands in
+``(post)``; phase times therefore sum to the block total, so nothing
+hides.
+
+Disabled (no active block), the hook in ``RoundLedger.charge`` is one
+module-attribute read and a branch — the same zero-overhead pattern as
+:mod:`repro.oracle.faults` and :mod:`repro.telemetry.metrics`.
+
+``repro build-oracle --profile`` wraps the build in a block and stores
+:meth:`BuildProfiler.as_dict` in the artifact manifest under
+``build_profile``, so the profile ships with the artifact it measured.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+__all__ = ["BuildProfiler", "active", "profile_build"]
+
+#: The active profiler (None = disabled fast path in ``RoundLedger.charge``).
+ACTIVE: Optional["BuildProfiler"] = None
+
+#: Phase name for wall time after the last ledger charge.
+POST_PHASE = "(post)"
+
+
+class BuildProfiler:
+    """Accumulates per-phase wall time between ledger charges."""
+
+    def __init__(self):
+        self.phases: Dict[str, Dict[str, float]] = {}
+        self.total_wall_s = 0.0
+        self._started: Optional[float] = None
+        self._last: Optional[float] = None
+
+    def start(self) -> None:
+        self._started = self._last = time.perf_counter()
+
+    def mark(self, phase: str) -> None:
+        """Attribute the wall time since the previous mark to ``phase``
+        (called by ``RoundLedger.charge``; any thread)."""
+        now = time.perf_counter()
+        last = self._last
+        if last is None:  # marked outside a block's start: self-anchor
+            last = now
+        slot = self.phases.get(phase)
+        if slot is None:
+            slot = self.phases[phase] = {"wall_s": 0.0, "charges": 0}
+        slot["wall_s"] += now - last
+        slot["charges"] += 1
+        self._last = now
+
+    def finish(self) -> None:
+        """Close the block: residual time since the last charge becomes
+        ``(post)`` so the phase times sum to ``total_wall_s``."""
+        if self._started is None:
+            return
+        now = time.perf_counter()
+        self.total_wall_s = now - self._started
+        if self._last is not None and now - self._last > 0:
+            residue = now - self._last
+            slot = self.phases.setdefault(
+                POST_PHASE, {"wall_s": 0.0, "charges": 0}
+            )
+            slot["wall_s"] += residue
+        self._last = now
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe profile for the artifact manifest / CLI table."""
+        return {
+            "total_wall_s": round(self.total_wall_s, 6),
+            "phases": {
+                phase: {
+                    "wall_s": round(slot["wall_s"], 6),
+                    "charges": int(slot["charges"]),
+                }
+                for phase, slot in sorted(
+                    self.phases.items(), key=lambda kv: -kv[1]["wall_s"]
+                )
+            },
+        }
+
+
+@contextmanager
+def profile_build():
+    """Activate a :class:`BuildProfiler` for the ``with`` body; nests
+    (the inner block wins while active, the outer resumes after)."""
+    global ACTIVE
+    profiler = BuildProfiler()
+    profiler.start()
+    previous = ACTIVE
+    ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        ACTIVE = previous
+        profiler.finish()
+
+
+def active() -> Optional[BuildProfiler]:
+    return ACTIVE

@@ -454,7 +454,10 @@ class TestService:
             host, port = server.server_address[:2]
             base = f"http://{host}:{port}"
             health = json.loads(urllib.request.urlopen(f"{base}/healthz").read())
-            assert health == {"ok": True}
+            assert health["ok"] is True
+            assert health["version"]
+            assert health["uptime_s"] >= 0
+            assert health["artifacts"] == 1
             req = urllib.request.Request(
                 f"{base}/query",
                 data=json.dumps({"pairs": [[0, 1], [2, 2]]}).encode(),

@@ -585,7 +585,9 @@ class TestHTTPChaos:
             pytest.fail("healthz stayed 200 while draining")
         except urllib.error.HTTPError as exc:
             assert exc.code == 503
-            assert json.loads(exc.read()) == {"ok": False, "draining": True}
+            draining_body = json.loads(exc.read())
+            assert draining_body["ok"] is False
+            assert draining_body["draining"] is True
         status, body, headers = _post(base, {"u": 0, "v": 2}, timeout=2)
         assert status == 503 and body["draining"] is True
         assert headers.get("Retry-After")
@@ -625,6 +627,99 @@ class TestHTTPChaos:
         ])
         assert code == 2
         assert "exactly one" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# /metrics accounting identity under chaos (ISSUE 9)
+# ----------------------------------------------------------------------
+
+class TestMetricsAccounting:
+    """Under a faulted burst, the server-side ``/metrics`` counters must
+    reconcile *exactly* with what the clients observed: every request
+    that reached the mounted service appears in ``repro_requests_total``
+    once, under the status the client saw, and nothing else."""
+
+    @pytest.fixture(params=["threaded", "async"])
+    def server(self, request, bunches_artifact):
+        limits = dataclasses.replace(
+            oracle.DEFAULT_LIMITS,
+            max_inflight=2, retry_after_s=0.05, drain_timeout_s=5.0,
+        )
+        router = OracleRouter()
+        router.mount("tz", DistanceOracle(bunches_artifact), limits=limits)
+        if request.param == "async":
+            handle = start_async_server(router, port=0, limits=limits)
+            base = "http://%s:%s" % handle.server_address[:2]
+            try:
+                yield request.param, base
+            finally:
+                handle.drain_and_shutdown()
+            return
+        server = make_server(router, port=0, limits=limits)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = "http://%s:%s" % server.server_address[:2]
+        try:
+            yield request.param, base
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def _scrape(self, base):
+        from repro.telemetry import parse_exposition
+
+        with urllib.request.urlopen(base + "/metrics", timeout=5) as resp:
+            return parse_exposition(resp.read().decode())
+
+    def test_faulted_burst_reconciles_with_metrics(self, server):
+        frontend, base = server
+        before = self._scrape(base)
+        FAULTS.arm("service.handle", "delay", seconds=0.08, times=4)
+        attempts = 24
+        observed = []
+        lock = threading.Lock()
+
+        def one(i):
+            body = {"u": i % 5, "v": (i + 7) % 11, "timeout_ms": 2000}
+            if i % 6 == 0:  # a few requests carry an already-dead budget
+                body["timeout_ms"] = 0
+            status, _, _ = _post(base, body, timeout=10)
+            with lock:
+                observed.append(status)
+
+        threads = [
+            threading.Thread(target=one, args=(i,)) for i in range(attempts)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=20)
+        assert len(observed) == attempts
+        assert set(observed) <= {200, 503, 504}
+        delta = self._scrape(base).delta(before)
+        # Identity: every attempt is in requests_total exactly once...
+        assert delta.total("repro_requests_total", mount="tz") == attempts
+        # ...under the status the client saw, status by status.
+        for status in sorted(set(observed)):
+            assert delta.value(
+                "repro_requests_total", mount="tz", status=str(status)
+            ) == float(observed.count(status))
+        # Nothing was malformed, so the pre-service error counter for
+        # this burst stayed flat.
+        assert delta.total("repro_http_errors_total") == 0.0
+        # Cross-check the typed counters against /info's resilience
+        # block (both are fed by the same service instance).
+        with urllib.request.urlopen(base + "/info/tz", timeout=5) as resp:
+            info = json.loads(resp.read())
+        serving = info["serving"]
+        assert delta.value(
+            "repro_deadline_exceeded_total", mount="tz"
+        ) == float(observed.count(504))
+        assert delta.value(
+            "repro_admission_rejected_total", mount="tz"
+        ) == float(observed.count(503))
+        assert serving["rejected"] >= observed.count(503)
+        assert serving["deadline_exceeded"] >= observed.count(504)
 
 
 # ----------------------------------------------------------------------
