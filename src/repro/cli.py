@@ -183,6 +183,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not embed the source graph (disables path queries)",
     )
     p_build.add_argument(
+        "--shards", type=int, default=None, metavar="S",
+        help="write the sharded artifact layout with S vertex-range "
+             "shards; the tz variant then streams bunch arcs shard-at-"
+             "a-time so peak build memory is O(payload/S) (serve with "
+             "--artifact NAME=PATH — the layout is detected)",
+    )
+    p_build.add_argument(
         "--profile", action="store_true",
         help="profile the build: wall time per round-ledger phase, "
              "printed as a table and stored in the manifest under "
@@ -238,7 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
              "route name; repeat the flag to serve several artifacts "
              "from one process (POST /query/<name>).  Per-mount "
              "overrides append as ,key=value — e.g. "
-             "NAME=PATH,cache_size=100000,backend=parallel",
+             "NAME=PATH,cache_size=100000,backend=parallel,shards=4 "
+             "(a sharded-layout path is detected and served by its "
+             "worker pool automatically; shards=S on a plain artifact "
+             "partitions it in memory)",
     )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
@@ -532,6 +542,8 @@ def _main_build_oracle(args, g, rng) -> int:
     if getattr(args, "max_weight", 1) > 1:
         g = _random_weights(g, args.max_weight, rng)
         print(f"weights: random integers in [1, {args.max_weight}]")
+    if getattr(args, "shards", None) is not None:
+        return _build_sharded(args, g, rng)
     artifact = oracle.build_oracle(
         g,
         variant=args.variant,
@@ -558,6 +570,37 @@ def _main_build_oracle(args, g, rng) -> int:
     if args.profile:
         _print_build_profile(m)
     print(f"artifact written to {args.out}")
+    return 0
+
+
+def _build_sharded(args, g, rng) -> int:
+    """``repro build-oracle --shards S``: the sharded layout, streamed
+    for the tz variant (peak memory one shard + one in-flight block)."""
+    manifest = oracle.build_sharded_oracle(
+        g,
+        args.out,
+        shards=args.shards,
+        variant=args.variant,
+        eps=args.eps,
+        r=args.r,
+        rng=rng,
+        include_graph=not args.no_graph,
+        params=_parse_cli_params(getattr(args, "params", None)),
+        profile=args.profile,
+    )
+    smap = manifest["shard_map"]
+    stats = manifest.get("stats") or {}
+    print(
+        f"oracle: variant={manifest['variant']} kind={manifest['kind']} "
+        f"n={manifest['n']} shards={smap['shards']}"
+    )
+    print(f"guarantee: {manifest['guarantee']}")
+    if stats.get("streamed"):
+        print(
+            f"streamed build: peak resident arcs "
+            f"{stats['peak_resident_arcs']} of {stats['bunch_edges']}"
+        )
+    print(f"sharded artifact written to {args.out}")
     return 0
 
 
@@ -614,7 +657,11 @@ def _parse_backend_option(value: str) -> str:
 
 
 #: Per-mount option parsers for ``--artifact NAME=PATH,key=value``.
-_MOUNT_OPTION_PARSERS = {"cache_size": int, "backend": _parse_backend_option}
+_MOUNT_OPTION_PARSERS = {
+    "cache_size": int,
+    "backend": _parse_backend_option,
+    "shards": int,
+}
 
 
 def _parse_artifact_mounts(entries):

@@ -55,6 +55,7 @@ __all__ = [
     "TZBunches",
     "build_tz_emulator",
     "build_tz_bunches",
+    "iter_tz_bunch_arc_blocks",
 ]
 
 AnyGraph = Union[Graph, WeightedGraph]
@@ -300,10 +301,33 @@ def build_tz_bunches(
                     arcs_w.append(dist[bunch].astype(np.float64))
         return _assemble_bunches(g.n, hierarchy, arcs_s, arcs_d, arcs_w)
 
+    for _lo, _hi, bs, bd, bw in iter_tz_bunch_arc_blocks(g, hierarchy):
+        arcs_s.append(bs)
+        arcs_d.append(bd)
+        arcs_w.append(bw)
+    return _assemble_bunches(g.n, hierarchy, arcs_s, arcs_d, arcs_w)
+
+
+def iter_tz_bunch_arc_blocks(
+    g: AnyGraph, hierarchy: Hierarchy
+) -> Iterator[Tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]:
+    """Stream the TZ bunch/pivot arcs as canonical per-source-range
+    blocks ``(lo, hi, srcs, dsts, dists)`` with ``lo <= srcs < hi``.
+
+    Ranges arrive in ascending source order and each block is already
+    canonical (sorted by ``(src, dst)``, deduplicated), so concatenating
+    the blocks *is* the canonical global arc array — source ranges are
+    disjoint, so no cross-block sort or dedup is ever needed.  This is
+    what lets the sharded artifact writer hold only one source range of
+    arcs in memory at a time instead of all ``O(k n^{1+1/k})`` of them.
+    """
+    masks = hierarchy.masks
+    r = hierarchy.r
     all_vertices = np.arange(g.n, dtype=np.int64)
     for lo, hi, block in _global_distance_shards(g, all_vertices):
         srcs = all_vertices[lo:hi]
         finite = np.isfinite(block)
+        arcs_s, arcs_d, arcs_w = [], [], []
         for i in range(r + 1):
             in_next = finite & masks[i + 1]
             nd_rows, _, nd_weights = kernels.masked_row_argmin(block, in_next)
@@ -326,30 +350,40 @@ def build_tz_bunches(
             arcs_s.append(srcs[b_rows])
             arcs_d.append(b_cols.astype(np.int64))
             arcs_w.append(block[b_rows, b_cols].astype(np.float64))
-    return _assemble_bunches(g.n, hierarchy, arcs_s, arcs_d, arcs_w)
+        yield (int(lo), int(hi), *_canonical_arcs(arcs_s, arcs_d, arcs_w))
 
 
-def _assemble_bunches(n, hierarchy, arcs_s, arcs_d, arcs_w) -> TZBunches:
-    """Canonicalize the directed membership arcs — sorted by
+def _canonical_arcs(
+    arcs_s, arcs_d, arcs_w
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate arc fragments into the canonical form: sorted by
     ``(src, dst)``, duplicates dropped (a pivot re-appearing as a bunch
     member carries the identical exact distance, so keep-first is
-    value-stable) — and build the undirected star view."""
+    value-stable)."""
     srcs = (
         np.concatenate(arcs_s) if arcs_s else np.empty(0, dtype=np.int64)
     )
-    if srcs.size:
-        dsts = np.concatenate(arcs_d)
-        dists = np.concatenate(arcs_w)
-        order = np.lexsort((dsts, srcs))
-        srcs, dsts, dists = srcs[order], dsts[order], dists[order]
-        keep = np.concatenate(
-            [[True], (srcs[1:] != srcs[:-1]) | (dsts[1:] != dsts[:-1])]
+    if not srcs.size:
+        return (
+            srcs.astype(np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
         )
-        srcs, dsts, dists = srcs[keep], dsts[keep], dists[keep]
-    else:
-        srcs = srcs.astype(np.int64)
-        dsts = np.empty(0, dtype=np.int64)
-        dists = np.empty(0, dtype=np.float64)
+    dsts = np.concatenate(arcs_d)
+    dists = np.concatenate(arcs_w)
+    order = np.lexsort((dsts, srcs))
+    srcs, dsts, dists = srcs[order], dsts[order], dists[order]
+    keep = np.concatenate(
+        [[True], (srcs[1:] != srcs[:-1]) | (dsts[1:] != dsts[:-1])]
+    )
+    return srcs[keep], dsts[keep], dists[keep]
+
+
+def _assemble_bunches(n, hierarchy, arcs_s, arcs_d, arcs_w) -> TZBunches:
+    """Canonicalize the directed membership arcs and build the
+    undirected star view (already-canonical disjoint ascending blocks
+    pass through the sort/dedup unchanged)."""
+    srcs, dsts, dists = _canonical_arcs(arcs_s, arcs_d, arcs_w)
     star = WeightedGraph(n)
     star.add_edges_arrays(srcs, dsts, dists)
     return TZBunches(

@@ -46,13 +46,42 @@ __all__ = [
 ]
 
 
+#: Above this many candidate pairs, ``np.triu_indices`` would
+#: materialize gigabytes; G(n, p) switches to O(m)-memory sampling.
+_DENSE_PAIR_LIMIT = 1 << 26
+
+
 def erdos_renyi(n: int, p: float, rng: np.random.Generator) -> Graph:
-    """G(n, p): each of the ``n(n-1)/2`` edges present independently w.p. ``p``."""
+    """G(n, p): each of the ``n(n-1)/2`` edges present independently w.p. ``p``.
+
+    Small graphs enumerate the pair universe directly (bit-for-bit the
+    historical sampling for a given seed); past ``_DENSE_PAIR_LIMIT``
+    pairs the edge *count* is drawn Binomial(n(n-1)/2, p)-exact and the
+    edge *set* by rejection sampling, so giant sparse instances
+    (n = 10^5+) cost O(m) memory instead of O(n^2).
+    """
     if not 0 <= p <= 1:
         raise ValueError(f"p must be in [0, 1], got {p}")
-    iu, ju = np.triu_indices(n, k=1)
-    mask = rng.random(iu.shape[0]) < p
-    return Graph(n, np.stack([iu[mask], ju[mask]], axis=1))
+    total = n * (n - 1) // 2
+    if total <= _DENSE_PAIR_LIMIT:
+        iu, ju = np.triu_indices(n, k=1)
+        mask = rng.random(iu.shape[0]) < p
+        return Graph(n, np.stack([iu[mask], ju[mask]], axis=1))
+    m = int(rng.binomial(total, p))
+    pairs = np.empty((0, 2), dtype=np.int64)
+    while pairs.shape[0] < m:
+        need = m - pairs.shape[0]
+        draw = rng.integers(0, n, size=(need + max(16, need // 8), 2))
+        draw = draw[draw[:, 0] != draw[:, 1]]
+        lo = np.minimum(draw[:, 0], draw[:, 1])
+        hi = np.maximum(draw[:, 0], draw[:, 1])
+        pairs = np.unique(
+            np.concatenate([pairs, np.stack([lo, hi], axis=1)]), axis=0
+        )
+    if pairs.shape[0] > m:
+        keep = rng.choice(pairs.shape[0], size=m, replace=False)
+        pairs = pairs[np.sort(keep)]
+    return Graph(n, pairs)
 
 
 def gnm_random(n: int, m: int, rng: np.random.Generator) -> Graph:

@@ -67,12 +67,15 @@ __all__ = [
     "MIN_PARALLEL_CELLS",
     "ParallelFallback",
     "bfs_waves_parallel",
+    "fork_available",
     "minplus_parallel",
     "numba_available",
     "parallel_mode",
     "parallel_profitable",
     "pool_active",
+    "pool_timeout",
     "relax_parallel",
+    "shard_edges",
     "shutdown_pool",
     "worker_count",
 ]
@@ -168,6 +171,33 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform (the
+    sharded oracle and the shard pool both require it)."""
+    return _fork_available()
+
+
+def pool_timeout() -> float:
+    """The hung-worker budget in seconds (``REPRO_POOL_TIMEOUT``
+    override) — shared by the kernel shard pool and the sharded
+    oracle's worker supervision."""
+    return _pool_timeout()
+
+
+def shard_edges(total: int, shards: int) -> np.ndarray:
+    """Contiguous partition of ``range(total)`` into at most ``shards``
+    blocks, as the ``shards+1`` boundary array (``edges[i]:edges[i+1]``
+    is block ``i``).  This is the *canonical* vertex-range split: the
+    sharded artifact writer, the query router, and the kernel pool all
+    derive their ranges from it, so they always agree."""
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    shards = max(1, min(shards, max(total, 1)))
+    return np.linspace(0, total, shards + 1, dtype=np.int64)
+
+
 def parallel_mode() -> str:
     """The degradation rung ``backend="parallel"`` lands on for this
     process: ``"numba"``, ``"multiprocessing"``, or ``"serial"``.
@@ -257,8 +287,7 @@ _ATEXIT_REGISTERED = False
 
 def _shard_bounds(total: int, shards: int) -> Sequence[Tuple[int, int]]:
     """Split ``range(total)`` into at most ``shards`` contiguous blocks."""
-    shards = max(1, min(shards, total))
-    edges = np.linspace(0, total, shards + 1, dtype=np.int64)
+    edges = shard_edges(total, shards)
     return [(int(lo), int(hi)) for lo, hi in zip(edges[:-1], edges[1:]) if hi > lo]
 
 

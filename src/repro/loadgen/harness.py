@@ -42,7 +42,9 @@ from ..oracle import (
     OracleClient,
     OracleRouter,
     ServingLimits,
+    ShardedOracle,
     build_oracle,
+    is_sharded_artifact,
     make_server,
     start_async_server,
 )
@@ -134,13 +136,25 @@ def load_mounts(
             kwargs["cache_size"] = int(options.pop("cache_size"))
         if "backend" in options:
             kwargs["backend"] = options.pop("backend")
+        shards = options.pop("shards", None)
         if options:
             raise LoadgenError(
                 f"unknown mount option(s) {sorted(options)} for "
                 f"loadgen artifact {name or path!r}"
             )
-        oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
-        out.append((name or oracle.artifact.variant, oracle))
+        if shards is not None or is_sharded_artifact(path):
+            oracle = ShardedOracle.load(
+                path,
+                shards=int(shards) if shards is not None else None,
+                mmap=mmap,
+                **kwargs,
+            )
+        else:
+            oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
+        mount_name = name or oracle.artifact.variant
+        if isinstance(oracle, ShardedOracle):
+            oracle.set_mount(mount_name)
+        out.append((mount_name, oracle))
     return out
 
 
@@ -238,12 +252,28 @@ def _metrics_section(delta: MetricsSnapshot) -> Dict[str, object]:
             }
         )
     }
-    return {
+    # Per-shard routed-query counts (present only when a sharded oracle
+    # is mounted) — the zipf_hotspot imbalance report: a hot vertex
+    # range shows up as one shard's count dwarfing the others.
+    shard_queries: Dict[str, Dict[str, int]] = {}
+    for labels, value in delta.samples.get("repro_shard_queries_total", ()):
+        if value:
+            mount = labels.get("mount", "")
+            shard_queries.setdefault(mount, {})[
+                labels.get("shard", "")
+            ] = int(value)
+    out = {
         "requests_total": requests_total,
         "deadline_exceeded_total": deadline,
         "request_duration_seconds": latency,
         "stage_duration_seconds": stages,
     }
+    if shard_queries:
+        out["shard_queries_total"] = {
+            mount: dict(sorted(counts.items(), key=lambda kv: int(kv[0])))
+            for mount, counts in shard_queries.items()
+        }
+    return out
 
 
 def _server_section(info: Dict[str, object]) -> Dict[str, object]:

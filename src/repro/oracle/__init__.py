@@ -23,7 +23,13 @@ end, the preprocess/query split production distance services amortize:
 * :mod:`repro.oracle.coalesce` — :class:`QueryCoalescer`: the async
   front end's micro-batcher that turns bursts of concurrent single
   queries into one vectorized ``query_batch`` gather (the E19 45-244x
-  batch advantage applied to single-query traffic).
+  batch advantage applied to single-query traffic);
+* :mod:`repro.oracle.sharded` — the scale-out layer: a sharded on-disk
+  layout partitioning bunch arcs by vertex range (written shard-at-a-
+  time, so a ``tz`` build at ``n = 10^5+`` never holds the whole
+  relation), and :class:`ShardedOracle` routing batched queries by
+  vertex id to per-shard forked workers, bit-identical to the
+  single-process engine (DESIGN.md §10).
 
 The serving stack is failure-aware end to end: crash-safe checksummed
 artifact writes (:mod:`repro.oracle.artifact`), per-request deadlines,
@@ -61,6 +67,13 @@ from .resilience import (
     Deadline,
     DeadlineExceeded,
     ServingLimits,
+)
+from .sharded import (
+    ShardedOracle,
+    build_sharded_oracle,
+    is_sharded_artifact,
+    load_sharded_artifact,
+    save_sharded_artifact,
 )
 from .service import (
     FRONTENDS,

@@ -329,19 +329,7 @@ def build_oracle(
     if rng is None:
         rng = np.random.default_rng(0)
 
-    manifest: Dict[str, object] = {
-        "format_version": FORMAT_VERSION,
-        "variant": spec.name,
-        "n": int(g.n),
-        "graph_m": int(g.m),
-        "weighted": weighted,
-        "graph_hash": graph_fingerprint(g),
-        "includes_graph": bool(include_graph),
-        "params": _jsonable(resolved),
-    }
-    # Top-level echo of each resolved parameter (eps, r, k, ...) so
-    # manifests stay greppable the way v1 manifests were.
-    manifest.update(_jsonable(resolved))
+    manifest = _manifest_base(g, spec.name, resolved, include_graph)
 
     if profile:
         with profile_build() as profiler:
@@ -349,25 +337,75 @@ def build_oracle(
         manifest["build_profile"] = profiler.as_dict()
     else:
         build = spec.build(g, rng=rng, **resolved, **extra)
-    manifest.update(
+    _manifest_finish(
+        manifest,
         kind=spec.kind,
         name=build.name,
         multiplicative=float(build.multiplicative),
         additive=float(build.additive),
-        rounds_total=(
-            None if build.rounds_total is None else float(build.rounds_total)
-        ),
-        rounds_breakdown=_jsonable(build.rounds_breakdown),
-        stats=_jsonable(build.stats),
-    )
-    manifest["guarantee"] = (
-        "d_G(u,v) <= estimate <= "
-        f"{manifest['multiplicative']} * d_G(u,v) + {manifest['additive']}"
+        rounds_total=build.rounds_total,
+        rounds_breakdown=build.rounds_breakdown,
+        stats=build.stats,
     )
     arrays = dict(build.arrays)
     if include_graph:
         _embed_graph(g, arrays)
     return OracleArtifact(manifest=manifest, arrays=arrays)
+
+
+def _manifest_base(
+    g: AnyGraph,
+    variant: str,
+    resolved: Dict[str, object],
+    include_graph: bool,
+) -> Dict[str, object]:
+    """The pre-build manifest skeleton (provenance + parameter echo) —
+    shared by :func:`build_oracle` and the streaming sharded builder."""
+    manifest: Dict[str, object] = {
+        "format_version": FORMAT_VERSION,
+        "variant": str(variant),
+        "n": int(g.n),
+        "graph_m": int(g.m),
+        "weighted": isinstance(g, WeightedGraph),
+        "graph_hash": graph_fingerprint(g),
+        "includes_graph": bool(include_graph),
+        "params": _jsonable(resolved),
+    }
+    # Top-level echo of each resolved parameter (eps, r, k, ...) so
+    # manifests stay greppable the way v1 manifests were.
+    manifest.update(_jsonable(resolved))
+    return manifest
+
+
+def _manifest_finish(
+    manifest: Dict[str, object],
+    *,
+    kind: str,
+    name: str,
+    multiplicative: float,
+    additive: float,
+    rounds_total=None,
+    rounds_breakdown=None,
+    stats=None,
+) -> Dict[str, object]:
+    """Fold the build result into a :func:`_manifest_base` skeleton and
+    stamp the human-readable guarantee line."""
+    manifest.update(
+        kind=str(kind),
+        name=str(name),
+        multiplicative=float(multiplicative),
+        additive=float(additive),
+        rounds_total=(
+            None if rounds_total is None else float(rounds_total)
+        ),
+        rounds_breakdown=_jsonable(rounds_breakdown),
+        stats=_jsonable(stats),
+    )
+    manifest["guarantee"] = (
+        "d_G(u,v) <= estimate <= "
+        f"{manifest['multiplicative']} * d_G(u,v) + {manifest['additive']}"
+    )
+    return manifest
 
 
 # ----------------------------------------------------------------------
@@ -503,6 +541,12 @@ def save_artifact(artifact: OracleArtifact, path: str) -> None:
         # final path was never touched.
         shutil.rmtree(tmp, ignore_errors=True)
         raise
+    _commit_staged(tmp, path)
+
+
+def _commit_staged(tmp: str, path: str) -> None:
+    """Atomically promote a fully-written staging directory to ``path``
+    (shared by :func:`save_artifact` and the sharded writer)."""
     FAULTS.fire("artifact.save", stage="rename")
     if os.path.isdir(path):
         # Swap: move the old artifact aside, rename the staged one in,
@@ -605,6 +649,17 @@ def load_artifact(
     FAULTS.fire("artifact.load")
     manifest_path = os.path.join(path, MANIFEST_NAME)
     arrays_path = os.path.join(path, ARRAYS_NAME)
+    if not os.path.isfile(arrays_path) and os.path.isfile(manifest_path):
+        # A sharded layout has a manifest (with a shard_map) but no
+        # top-level arrays.npz — merge it back into one logical
+        # artifact, bit-identical to the unsharded save.
+        from .sharded import is_sharded_artifact, load_sharded_artifact
+
+        if is_sharded_artifact(path):
+            return load_sharded_artifact(
+                path, expected_graph=expected_graph, mmap=mmap,
+                verify=verify,
+            )
     if not os.path.isfile(manifest_path) or not os.path.isfile(arrays_path):
         raise ArtifactError(
             f"{path!r} is not an oracle artifact (expected "

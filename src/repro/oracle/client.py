@@ -29,9 +29,11 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import socket
+import threading
 import time
 import urllib.parse
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["ClientRetriesExhausted", "OracleClient", "OracleClientError"]
 
@@ -136,6 +138,106 @@ class OracleClient:
         """GET ``/info[/<name>]``."""
         path = "/info" if name is None else f"/info/{name}"
         return self._call("GET", path, None)
+
+    def stream_queries(
+        self,
+        requests: Sequence[Dict[str, object]],
+        name: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Send a burst of requests over one ``POST /stream[/<name>]``
+        newline-delimited channel (async front end only).
+
+        Every request dict is written as one JSON line on a dedicated
+        long-lived connection, pipelined — the server parks single
+        distance queries in its coalescer and answers the burst with one
+        vectorized gather.  Returns the response bodies **in request
+        order**, each extended with ``"status"``.  No retries: a stream
+        is one unit of work — callers retry the whole call.  Writing
+        runs on a helper thread so arbitrarily large bursts cannot
+        deadlock both socket buffers.
+        """
+        if self._scheme != "http":
+            raise OracleClientError(
+                "stream_queries supports http:// base URLs only"
+            )
+        path = self._path_prefix + (
+            "/stream" if name is None else f"/stream/{name}"
+        )
+        host, _, port = self._netloc.partition(":")
+        requests = list(requests)
+        try:
+            sock = socket.create_connection(
+                (host, int(port or 80)), timeout=self.timeout_s
+            )
+        except OSError as exc:
+            raise OracleClientError(
+                f"POST {self.base_url}{path} failed to connect: {exc}"
+            )
+        try:
+            head = (
+                f"POST {path} HTTP/1.1\r\n"
+                f"Host: {self._netloc}\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+            write_error: List[BaseException] = []
+
+            def _pump() -> None:
+                try:
+                    sock.sendall(head)
+                    for request in requests:
+                        sock.sendall(json.dumps(request).encode() + b"\n")
+                    sock.sendall(b"\n")  # blank line: end of stream
+                except BaseException as exc:  # noqa: BLE001 — reported
+                    write_error.append(exc)
+
+            pump = threading.Thread(
+                target=_pump, name="oracle-stream-writer", daemon=True
+            )
+            pump.start()
+            fh = sock.makefile("rb")
+            status_line = fh.readline().decode("latin-1")
+            parts = status_line.split()
+            status = int(parts[1]) if len(parts) >= 2 else 0
+            length: Optional[int] = None
+            while True:
+                hline = fh.readline()
+                if hline in (b"\r\n", b"\n", b""):
+                    break
+                key, _, val = hline.decode("latin-1").partition(":")
+                if key.strip().lower() == "content-length":
+                    length = int(val.strip())
+            if status != 200:
+                # A framed pre-stream rejection (draining, bad mount).
+                raw = fh.read(length) if length else fh.read()
+                body = _json_body(raw)
+                body["status"] = status
+                pump.join(timeout=self.timeout_s)
+                return [body]
+            out: List[Dict[str, object]] = []
+            for _ in requests:
+                line = fh.readline()
+                if not line:
+                    raise OracleClientError(
+                        f"stream ended after {len(out)} of "
+                        f"{len(requests)} responses"
+                        + (
+                            f" (send failed: {write_error[0]})"
+                            if write_error else ""
+                        )
+                    )
+                out.append(json.loads(line))
+            pump.join(timeout=self.timeout_s)
+            if write_error:
+                raise OracleClientError(
+                    f"stream write failed: {write_error[0]}"
+                )
+            return out
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     def healthz(self) -> Tuple[int, Dict[str, object]]:
         """GET ``/healthz`` (no retries — health must reflect now)."""

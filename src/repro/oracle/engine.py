@@ -63,7 +63,13 @@ from ..telemetry import metrics as _metrics
 from .artifact import ArtifactError, OracleArtifact, load_artifact
 from .faults import FAULTS
 
-__all__ = ["DistanceOracle", "QueryCertificate", "DEFAULT_CACHE_SIZE"]
+__all__ = [
+    "DistanceOracle",
+    "QueryCertificate",
+    "DEFAULT_CACHE_SIZE",
+    "combine_bunch_slabs",
+    "edges_sssp_batch",
+]
 
 #: Default LRU result-cache capacity (entries, one per unordered pair).
 DEFAULT_CACHE_SIZE = 4096
@@ -395,28 +401,15 @@ class DistanceOracle:
         then a row gather answers every query on those sources.  Cost
         scales with distinct sources, not batch size — a batch hammering
         few sources amortizes exactly like the matrix gather."""
-        if self._origins.size == 0:  # edgeless artifact: only u == v
-            return (
-                np.where(us == vs, 0.0, np.inf),
-                np.full(us.size, -1, dtype=np.int64),
-            )
-        sources, inverse = np.unique(us, return_inverse=True)
-        values = np.empty(us.size, dtype=np.float64)
-        for start in range(0, int(sources.size), _EDGES_SSSP_SHARD):
-            shard = sources[start:start + _EDGES_SSSP_SHARD]
-            seed = np.full((shard.size, self.n), np.inf)
-            seed[np.arange(shard.size), shard] = 0.0
-            dist = hop_limited_relax(
-                seed,
-                self._origins,
-                self._targets,
-                self._weights,
-                max_hops=self.n,
-                backend=self._backend,
-            )
-            in_shard = (inverse >= start) & (inverse < start + shard.size)
-            values[in_shard] = dist[inverse[in_shard] - start, vs[in_shard]]
-        return values, np.full(us.size, -1, dtype=np.int64)
+        return edges_sssp_batch(
+            self.n,
+            self._origins,
+            self._targets,
+            self._weights,
+            us,
+            vs,
+            backend=self._backend,
+        )
 
     def _sources_batch(
         self, us: np.ndarray, vs: np.ndarray
@@ -453,99 +446,25 @@ class DistanceOracle:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """The vectorized 2-hop ``B(u) ∩ B(v)`` combine (see module doc).
 
-        Queries are grouped by source: each group scatters ``B(u)`` into
-        a reused dense ``(n,)`` distance vector once, then one flat
-        gather/add over the group's ``B(v)`` CSR slabs produces every
-        candidate ``d(u, w) + d(v, w)`` (non-members read ``inf`` from
-        the dense vector and drop out of the min), and one
-        ``np.minimum.reduceat`` per group reduces each query.  Work is
-        ``O(sum |B(v)|)`` gathers — no per-query search structures.
+        Delegates to :func:`combine_bunch_slabs` with both sides read
+        from the oracle's own CSR — the same function the sharded
+        engine's workers call with a *local* u-side CSR and exchanged
+        v-side slabs, which is what keeps sharded answers bit-identical
+        to this path.
         """
-        n = self.n
-        q = us.size
-        out = np.full(q, np.inf)
-        # Sentinel n = "no witness yet": keeps the smallest-id reduction
-        # branch-free; converted to -1 before returning.
-        wit = np.full(q, n, dtype=np.int64)
-        if q == 0:
-            return out, np.full(0, -1, dtype=np.int64)
-        indptr, cols, ds = self._indptr, self._cols, self._ds
-
-        order = np.argsort(us, kind="stable")
-        sus, svs = us[order], vs[order]
-        bounds = np.flatnonzero(
-            np.concatenate([[True], sus[1:] != sus[:-1]])
+        return combine_bunch_slabs(
+            self.n,
+            us,
+            vs,
+            self._indptr,
+            self._cols,
+            self._ds,
+            self._indptr[vs],
+            self._indptr[vs + 1],
+            self._cols,
+            self._ds,
+            want_witness=want_witness,
         )
-        dense = np.full(n, np.inf)  # reused B(u) scatter target
-        for gi in range(bounds.size):
-            start = bounds[gi]
-            end = bounds[gi + 1] if gi + 1 < bounds.size else q
-            u = int(sus[start])
-            qidx = order[start:end]  # original positions of this group
-            gvs = svs[start:end]
-            u_lo, u_hi = int(indptr[u]), int(indptr[u + 1])
-            ucols = cols[u_lo:u_hi]
-            dense[ucols] = ds[u_lo:u_hi]
-
-            v_pos, owners = _flat_slabs(indptr, gvs)
-            if v_pos.size:
-                vcols = cols[v_pos]
-                vds = ds[v_pos]
-                cand = dense[vcols] + vds
-                starts = np.flatnonzero(
-                    np.concatenate([[True], owners[1:] != owners[:-1]])
-                )
-                gowners = owners[starts]
-                mins = np.minimum.reduceat(cand, starts)
-                fin = np.isfinite(mins)  # inf = empty intersection
-                rows_min = qidx[gowners[fin]]
-                out[rows_min] = mins[fin]
-                if want_witness:
-                    # Smallest witness achieving the minimum: witness
-                    # ids ascend inside a slab, so the min over ids at
-                    # the minimum value is the first one.
-                    seg_sizes = np.diff(np.append(starts, cand.size))
-                    at_min = cand == np.repeat(mins, seg_sizes)
-                    wmin = np.minimum.reduceat(
-                        np.where(at_min, vcols, n), starts
-                    )
-                    wit[rows_min] = wmin[fin]
-                # Direct arc v -> u: competes as witness v (the 2-hop
-                # u -> v -> v with d(v, v) = 0).  A value tie leaves the
-                # distance unchanged, so the tie branch only matters
-                # when witnesses are wanted.
-                dmask = vcols == u
-                if dmask.any():
-                    dpos = np.flatnonzero(dmask)
-                    rows_d = qidx[owners[dpos]]
-                    w_d = gvs[owners[dpos]]
-                    dval = vds[dpos]
-                    take = dval < out[rows_d]
-                    if want_witness:
-                        take |= (dval == out[rows_d]) & (w_d < wit[rows_d])
-                    out[rows_d[take]] = dval[take]
-                    wit[rows_d[take]] = w_d[take]
-            # Direct arc u -> v: same witness-v convention (the arc
-            # weight equals the exact distance in either direction).
-            aval = dense[gvs]
-            afin = np.isfinite(aval)
-            if afin.any():
-                rows_a = qidx[afin]
-                w_a = gvs[afin]
-                av = aval[afin]
-                take = av < out[rows_a]
-                if want_witness:
-                    take |= (av == out[rows_a]) & (w_a < wit[rows_a])
-                out[rows_a[take]] = av[take]
-                wit[rows_a[take]] = w_a[take]
-            dense[ucols] = np.inf  # reset only the touched entries
-        # Identical endpoints: distance 0, witness the vertex itself.
-        same = us == vs
-        out[same] = 0.0
-        wit[same] = us[same]
-        wit[~np.isfinite(out)] = -1
-        wit[wit == n] = -1
-        return out, wit
 
     def _embedded_graph(self):
         if self._graph is None:
@@ -573,6 +492,173 @@ class DistanceOracle:
 
 
 # ----------------------------------------------------------------------
+# Kind kernels (shared with the sharded engine)
+# ----------------------------------------------------------------------
+
+def combine_bunch_slabs(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    u_indptr: np.ndarray,
+    u_cols: np.ndarray,
+    u_ds: np.ndarray,
+    v_lo: np.ndarray,
+    v_hi: np.ndarray,
+    v_cols: np.ndarray,
+    v_ds: np.ndarray,
+    want_witness: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The vectorized 2-hop ``B(u) ∩ B(v)`` combine with injectable
+    sides (the bit-identity anchor of the whole serving layer).
+
+    The u side is a CSR indexed by vertex id (``u_indptr`` over the full
+    ``n + 1`` rows — a shard's local CSR clamps out-of-range rows to
+    empty slabs); the v side is given as *per-query* slab bounds
+    ``[v_lo[q], v_hi[q])`` into ``v_cols`` / ``v_ds``.  The unsharded
+    engine passes its own CSR on both sides (``v_lo = indptr[vs]``);
+    a sharded worker passes its local CSR for same-shard pairs and the
+    slabs received from the v-owning shard for cross-shard pairs.  The
+    candidate set — common members, the two direct-arc conventions, the
+    ``u == v`` zero — is identical either way, and ``min`` over float64
+    candidates plus the smallest-witness-id tie-break are
+    order-independent, so every caller produces bit-identical answers.
+
+    Queries are grouped by source: each group scatters ``B(u)`` into a
+    reused dense ``(n,)`` distance vector once, then one flat gather/add
+    over the group's ``B(v)`` slabs produces every candidate
+    ``d(u, w) + d(v, w)`` (non-members read ``inf`` from the dense
+    vector and drop out of the min), and one ``np.minimum.reduceat`` per
+    group reduces each query.  Work is ``O(sum |B(v)|)`` gathers — no
+    per-query search structures.
+    """
+    q = us.size
+    out = np.full(q, np.inf)
+    # Sentinel n = "no witness yet": keeps the smallest-id reduction
+    # branch-free; converted to -1 before returning.
+    wit = np.full(q, n, dtype=np.int64)
+    if q == 0:
+        return out, np.full(0, -1, dtype=np.int64)
+
+    order = np.argsort(us, kind="stable")
+    sus, svs = us[order], vs[order]
+    bounds = np.flatnonzero(
+        np.concatenate([[True], sus[1:] != sus[:-1]])
+    )
+    dense = np.full(n, np.inf)  # reused B(u) scatter target
+    for gi in range(bounds.size):
+        start = bounds[gi]
+        end = bounds[gi + 1] if gi + 1 < bounds.size else q
+        u = int(sus[start])
+        qidx = order[start:end]  # original positions of this group
+        gvs = svs[start:end]
+        u_a, u_b = int(u_indptr[u]), int(u_indptr[u + 1])
+        ucols = u_cols[u_a:u_b]
+        dense[ucols] = u_ds[u_a:u_b]
+
+        v_pos, owners = _flat_ranges(v_lo[qidx], v_hi[qidx])
+        if v_pos.size:
+            vcols = v_cols[v_pos]
+            vds = v_ds[v_pos]
+            cand = dense[vcols] + vds
+            starts = np.flatnonzero(
+                np.concatenate([[True], owners[1:] != owners[:-1]])
+            )
+            gowners = owners[starts]
+            mins = np.minimum.reduceat(cand, starts)
+            fin = np.isfinite(mins)  # inf = empty intersection
+            rows_min = qidx[gowners[fin]]
+            out[rows_min] = mins[fin]
+            if want_witness:
+                # Smallest witness achieving the minimum: witness
+                # ids ascend inside a slab, so the min over ids at
+                # the minimum value is the first one.
+                seg_sizes = np.diff(np.append(starts, cand.size))
+                at_min = cand == np.repeat(mins, seg_sizes)
+                wmin = np.minimum.reduceat(
+                    np.where(at_min, vcols, n), starts
+                )
+                wit[rows_min] = wmin[fin]
+            # Direct arc v -> u: competes as witness v (the 2-hop
+            # u -> v -> v with d(v, v) = 0).  A value tie leaves the
+            # distance unchanged, so the tie branch only matters
+            # when witnesses are wanted.
+            dmask = vcols == u
+            if dmask.any():
+                dpos = np.flatnonzero(dmask)
+                rows_d = qidx[owners[dpos]]
+                w_d = gvs[owners[dpos]]
+                dval = vds[dpos]
+                take = dval < out[rows_d]
+                if want_witness:
+                    take |= (dval == out[rows_d]) & (w_d < wit[rows_d])
+                out[rows_d[take]] = dval[take]
+                wit[rows_d[take]] = w_d[take]
+        # Direct arc u -> v: same witness-v convention (the arc
+        # weight equals the exact distance in either direction).
+        aval = dense[gvs]
+        afin = np.isfinite(aval)
+        if afin.any():
+            rows_a = qidx[afin]
+            w_a = gvs[afin]
+            av = aval[afin]
+            take = av < out[rows_a]
+            if want_witness:
+                take |= (av == out[rows_a]) & (w_a < wit[rows_a])
+            out[rows_a[take]] = av[take]
+            wit[rows_a[take]] = w_a[take]
+        dense[ucols] = np.inf  # reset only the touched entries
+    # Identical endpoints: distance 0, witness the vertex itself.
+    same = us == vs
+    out[same] = 0.0
+    wit[same] = us[same]
+    wit[~np.isfinite(out)] = -1
+    wit[wit == n] = -1
+    return out, wit
+
+
+def edges_sssp_batch(
+    n: int,
+    origins: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+    us: np.ndarray,
+    vs: np.ndarray,
+    backend: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """SSSP-at-query-time over bidirectional arc arrays (``edges`` kind).
+
+    One :func:`repro.kernels.hop_limited_relax` pass per shard of
+    *distinct* sources (the kernel stops early at its fixpoint), then a
+    row gather answers every query on those sources.  Each source's
+    relax row reaches its fixpoint independently, so any partition of a
+    batch by source — in particular the sharded engine's route-by-``u``
+    sub-batches — produces bit-identical values.
+    """
+    if origins.size == 0:  # edgeless artifact: only u == v
+        return (
+            np.where(us == vs, 0.0, np.inf),
+            np.full(us.size, -1, dtype=np.int64),
+        )
+    sources, inverse = np.unique(us, return_inverse=True)
+    values = np.empty(us.size, dtype=np.float64)
+    for start in range(0, int(sources.size), _EDGES_SSSP_SHARD):
+        shard = sources[start:start + _EDGES_SSSP_SHARD]
+        seed = np.full((shard.size, n), np.inf)
+        seed[np.arange(shard.size), shard] = 0.0
+        dist = hop_limited_relax(
+            seed,
+            origins,
+            targets,
+            weights,
+            max_hops=n,
+            backend=backend,
+        )
+        in_shard = (inverse >= start) & (inverse < start + shard.size)
+        values[in_shard] = dist[inverse[in_shard] - start, vs[in_shard]]
+    return values, np.full(us.size, -1, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
 # Helpers
 # ----------------------------------------------------------------------
 
@@ -593,15 +679,22 @@ def _directed_csr(
     return indptr, cols, vals
 
 
-def _flat_slabs(
-    indptr: np.ndarray, rows: np.ndarray
+def _flat_ranges(
+    lo: np.ndarray, hi: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Concatenated CSR positions of ``rows`` plus the owning query index
-    per position (the :func:`repro.kernels.csr._slab_positions` idiom)."""
-    from ..kernels.csr import _slab_positions
-
-    positions, counts = _slab_positions(indptr, rows)
-    owners = np.repeat(np.arange(rows.size, dtype=np.int64), counts)
+    """Concatenated positions of the half-open ranges ``[lo[i], hi[i])``
+    plus the owning query index per position — the
+    :func:`repro.kernels.csr._slab_positions` idiom generalized to
+    explicit per-query bounds (a CSR row is the special case
+    ``lo = indptr[rows]``, ``hi = indptr[rows + 1]``)."""
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    seg_starts = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)
+    positions = np.repeat(lo, counts) + within
+    owners = np.repeat(np.arange(lo.size, dtype=np.int64), counts)
     return positions, owners
 
 

@@ -18,6 +18,10 @@ lever: a process-global :data:`FAULTS` injector with a small set of
                         batched gather; an ``error`` fault maps to a
                         per-request 500 for every parked query
     parallel.worker     fired inside a shard-pool worker, per task
+    sharded.worker      fired inside a ShardedOracle shard worker, per
+                        received request (a ``kill`` here is a shard
+                        worker dying mid-burst — what the sharded
+                        supervision ladder must survive)
 
 Disarmed (the default), ``fire`` is one attribute read and a branch —
 zero overhead on the serving hot path.  Arm programmatically::
@@ -85,6 +89,7 @@ FAULT_POINTS = (
     "service.handle",
     "coalesce.flush",
     "parallel.worker",
+    "sharded.worker",
 )
 
 _KINDS = ("delay", "error", "kill")

@@ -553,7 +553,7 @@ class OracleService:
 
 #: Mount options accepted by :meth:`OracleRouter.load` (the
 #: ``--artifact NAME=PATH,key=value`` surface).
-_MOUNT_OPTIONS = ("cache_size", "backend")
+_MOUNT_OPTIONS = ("cache_size", "backend", "shards")
 
 
 class OracleRouter:
@@ -602,10 +602,18 @@ class OracleRouter:
         ``name=None`` defaults to the artifact's manifest ``variant``
         (duplicate defaults fail loudly — name them explicitly).  The
         per-mount ``options`` dict overrides serving knobs for that
-        artifact alone — ``cache_size`` and ``backend`` (the CLI spells
-        them ``--artifact NAME=PATH,cache_size=N,backend=X``); unknown
+        artifact alone — ``cache_size``, ``backend``, and ``shards``
+        (the CLI spells them
+        ``--artifact NAME=PATH,cache_size=N,shards=S``); unknown
         options fail loudly.  ``cache_size``/``limits`` apply to every
-        mount that does not override them."""
+        mount that does not override them.
+
+        A path holding the sharded layout mounts as a
+        :class:`~repro.oracle.sharded.ShardedOracle` automatically
+        (``shards=`` is then an optional cross-check); ``shards=S`` on
+        a plain artifact partitions it in memory."""
+        from .sharded import ShardedOracle, is_sharded_artifact
+
         router = cls()
         for item in artifacts:
             if len(item) == 3:
@@ -616,6 +624,7 @@ class OracleRouter:
             options = dict(options or {})
             mount_cache = options.pop("cache_size", cache_size)
             mount_backend = options.pop("backend", None)
+            mount_shards = options.pop("shards", None)
             if options:
                 raise ArtifactError(
                     f"unknown mount option(s) {sorted(options)} for "
@@ -627,10 +636,22 @@ class OracleRouter:
                 kwargs["cache_size"] = int(mount_cache)
             if mount_backend is not None:
                 kwargs["backend"] = mount_backend
-            oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
-            router.mount(
-                name or oracle.artifact.variant, oracle, limits=limits
-            )
+            if mount_shards is not None or is_sharded_artifact(path):
+                oracle = ShardedOracle.load(
+                    path,
+                    shards=(
+                        int(mount_shards)
+                        if mount_shards is not None else None
+                    ),
+                    mmap=mmap,
+                    **kwargs,
+                )
+            else:
+                oracle = DistanceOracle.load(path, mmap=mmap, **kwargs)
+            mount_name = name or oracle.artifact.variant
+            router.mount(mount_name, oracle, limits=limits)
+            if isinstance(oracle, ShardedOracle):
+                oracle.set_mount(mount_name)
         return router
 
     # ------------------------------------------------------------------
@@ -644,6 +665,14 @@ class OracleRouter:
     def services(self) -> Tuple[OracleService, ...]:
         """Every mounted service (the drain loop walks these)."""
         return tuple(self._services.values())
+
+    def close(self) -> None:
+        """Release mount resources — today that means stopping sharded
+        oracles' worker pools (idempotent; plain mounts are no-ops)."""
+        for svc in self._services.values():
+            close = getattr(svc.oracle, "close", None)
+            if close is not None:
+                close()
 
     def _resolve(
         self, name: Optional[str]
@@ -770,6 +799,7 @@ class OracleHTTPServer(ThreadingHTTPServer):
         for svc in self.router.services():
             drained &= svc.admission.drain(max(0.0, end - time.monotonic()))
         self.shutdown()
+        self.router.close()
         return drained
 
 
@@ -860,6 +890,14 @@ class _Handler(BaseHTTPRequestHandler):
             _count_http_error("threaded", status)
             self._respond(status, body, list(headers) + id_header)
 
+        if _split_route(self.path, "/stream")[0]:
+            # Streaming needs a connection owned by an event loop; the
+            # thread-per-request front end cannot hold one open.
+            _reject(501, {
+                "error": "newline-delimited streaming is only served by "
+                "the async front end (repro serve --frontend async)"
+            })
+            return
         matched, name = _split_route(self.path, "/query")
         if not matched:
             _reject(404, {"error": f"unknown path {self.path!r}"})
@@ -1139,6 +1177,13 @@ class AsyncOracleServer:
                         break
                     key, _, val = hline.decode("latin-1").partition(":")
                     headers[key.strip().lower()] = val.strip()
+                stream_matched, stream_name = _split_route(path, "/stream")
+                if method == "POST" and stream_matched:
+                    # The connection becomes a long-lived ndjson duplex
+                    # channel; the response is unframed, so the
+                    # connection is spent when the stream ends.
+                    await self._serve_stream(reader, writer, stream_name)
+                    break
                 want_close = "close" in headers.get("connection", "").lower()
                 status, body, extra, must_close = await self._dispatch(
                     method, path, headers, reader
@@ -1163,6 +1208,94 @@ class AsyncOracleServer:
                 await writer.wait_closed()
             except Exception:  # noqa: BLE001 — already-gone transport
                 pass
+
+    async def _serve_stream(self, reader, writer, name: Optional[str]) -> None:
+        """``POST /stream[/<name>]``: a long-lived newline-delimited
+        JSON channel feeding the mount's coalescer directly.
+
+        Each request line is one JSON object (the same shapes ``/query``
+        accepts); each response line is the matching JSON body, extended
+        with ``"status"``, written back **in request order**.  Single
+        distance queries park in the coalescer exactly like concurrent
+        ``/query`` posts — a pipelined client burst coalesces into one
+        vectorized gather without per-request HTTP framing.  A blank
+        line (or EOF) ends the stream; the response is unframed ndjson
+        under ``Connection: close``, so the connection is spent.
+        """
+        if self.draining:
+            retry = self.limits.retry_after_s
+            _count_http_error("async", 503)
+            await self._write(writer, 503, {
+                "error": "server is draining for shutdown; retry "
+                "against another instance",
+                "draining": True,
+                "retry_after": retry,
+            }, (("Retry-After", f"{retry:g}"),), keep=False)
+            return
+        svc, status, err = self.router._resolve(name)
+        if svc is None:
+            _count_http_error("async", status)
+            await self._write(writer, status, err, (), keep=False)
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+
+        # Responses keep request order: line n's future is awaited and
+        # written before line n+1's — but later lines have usually
+        # already been *submitted* (the read loop runs ahead of the
+        # writer), which is exactly what lets a burst park together in
+        # the coalescer and flush as one gather.  The read-ahead is
+        # bounded: parked queries hold admission slots, so an unbounded
+        # stream would shed its own tail with 503s — instead the reader
+        # stops consuming lines until responses drain (TCP-style
+        # backpressure, felt by the client as a stalling send).
+        queue: "asyncio.Queue" = asyncio.Queue()
+        window = asyncio.Semaphore(
+            max(1, self.limits.max_inflight // 2)
+        )
+
+        async def _drain_responses() -> None:
+            while True:
+                fut = await queue.get()
+                if fut is None:
+                    break
+                status, body = await fut
+                window.release()
+                body = dict(body)
+                body["status"] = status
+                writer.write((json.dumps(body) + "\n").encode())
+                await writer.drain()
+
+        drain_task = asyncio.create_task(_drain_responses())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+                await window.acquire()
+                try:
+                    request = json.loads(line)
+                except (ValueError, json.JSONDecodeError) as exc:
+                    done: "asyncio.Future" = self._loop.create_future()
+                    done.set_result(
+                        (400, {"error": f"malformed JSON request: {exc}"})
+                    )
+                    await queue.put(done)
+                    continue
+                if self._coalescable(request):
+                    fut = asyncio.wrap_future(svc.submit_coalesced(request))
+                else:
+                    fut = self._loop.run_in_executor(
+                        self._executor, svc.handle, request
+                    )
+                await queue.put(fut)
+        finally:
+            await queue.put(None)
+            await drain_task
 
     async def _dispatch(
         self, method: str, path: str, headers: Dict[str, str], reader
@@ -1364,6 +1497,7 @@ class AsyncServerHandle:
         self._thread.join()
         self._loop.close()
         self._thread = None
+        self.server.router.close()
 
 
 def start_async_server(

@@ -19,9 +19,21 @@ metric                                         labels
 ``repro_inflight_requests``                    ``mount``
 ``repro_coalesce_batch_size``                  —
 ``repro_engine_gather_seconds``                —
+``repro_shard_queries_total``                  ``mount``, ``shard``
+``repro_shard_gather_seconds``                 ``shard``
+``repro_shard_up``                             ``mount``, ``shard``
 ``repro_http_errors_total``                    ``frontend``, ``status``
 ``repro_client_disconnects_total``             ``frontend``
 =============================================  =======================
+
+The three ``repro_shard_*`` series exist only when a sharded oracle is
+mounted: ``repro_shard_queries_total`` counts queries *routed* to each
+shard (a cross-shard bunch pair counts on both endpoints' shards, so
+the series shows true per-shard load, which is what the loadgen
+``zipf_hotspot`` imbalance report scrapes), ``repro_shard_gather_seconds``
+times one shard's round-trip inside a batched answer, and
+``repro_shard_up`` is 1 while the shard is served by a live pool worker
+and 0 after the supervision ladder degrades it to in-process serial.
 
 ``repro_requests_total`` counts every request that *reached a mounted
 service* (one increment per finished request, coalesced or not) —
@@ -50,6 +62,9 @@ __all__ = [
     "REQUESTS",
     "REQUEST_SECONDS",
     "SERVER_INFO",
+    "SHARD_GATHER_SECONDS",
+    "SHARD_QUERIES",
+    "SHARD_UP",
     "STAGE_SECONDS",
     "UPTIME_SECONDS",
     "observe_stage",
@@ -108,6 +123,24 @@ COALESCE_BATCH_SIZE = REGISTRY.histogram(
 ENGINE_GATHER_SECONDS = REGISTRY.histogram(
     "repro_engine_gather_seconds",
     "Wall time of one vectorized DistanceOracle.query_batch gather.",
+)
+SHARD_QUERIES = REGISTRY.counter(
+    "repro_shard_queries_total",
+    "Queries routed to each shard of a sharded oracle (cross-shard "
+    "bunch pairs count on both endpoints' shards).",
+    ("mount", "shard"),
+)
+SHARD_GATHER_SECONDS = REGISTRY.histogram(
+    "repro_shard_gather_seconds",
+    "Round-trip wall time of one shard's share of a batched answer.",
+    DEFAULT_LATENCY_BUCKETS,
+    ("shard",),
+)
+SHARD_UP = REGISTRY.gauge(
+    "repro_shard_up",
+    "1 while the shard is served by a live pool worker, 0 once "
+    "supervision degraded it to in-process serial.",
+    ("mount", "shard"),
 )
 HTTP_ERRORS = REGISTRY.counter(
     "repro_http_errors_total",

@@ -34,6 +34,35 @@ class TestErdosRenyi:
         g = gen.connected_erdos_renyi(80, 1.5, rng)
         assert is_connected(g)
 
+    def test_sparse_path_edge_count_concentrates(self, rng, monkeypatch):
+        # Force the O(m)-memory sampling path at a testable size.
+        monkeypatch.setattr(gen, "_DENSE_PAIR_LIMIT", 0)
+        g = gen.erdos_renyi(500, 0.02, rng)
+        expected = 0.02 * 500 * 499 / 2
+        assert 0.5 * expected < g.m < 1.5 * expected
+
+    def test_sparse_path_is_simple_and_canonical(self, rng, monkeypatch):
+        monkeypatch.setattr(gen, "_DENSE_PAIR_LIMIT", 0)
+        g = gen.erdos_renyi(300, 0.05, rng)
+        edges = g.edges()
+        assert (edges[:, 0] < edges[:, 1]).all()
+        assert np.unique(edges, axis=0).shape[0] == edges.shape[0]
+
+    def test_sparse_path_deterministic_given_seed(self, monkeypatch):
+        monkeypatch.setattr(gen, "_DENSE_PAIR_LIMIT", 0)
+        a = gen.erdos_renyi(400, 0.03, np.random.default_rng(7))
+        b = gen.erdos_renyi(400, 0.03, np.random.default_rng(7))
+        assert np.array_equal(a.edges(), b.edges())
+
+    def test_giant_n_crosses_into_sparse_path(self):
+        # n = 20000 has ~2e8 candidate pairs — over the dense limit, so
+        # this exercises the real gate without O(n^2) memory or time.
+        n = 20_000
+        assert n * (n - 1) // 2 > gen._DENSE_PAIR_LIMIT
+        g = gen.erdos_renyi(n, 4.0 / n, np.random.default_rng(5))
+        expected = 2.0 * n
+        assert 0.8 * expected < g.m < 1.2 * expected
+
 
 class TestGnm:
     def test_exact_edge_count(self, rng):
